@@ -1,0 +1,16 @@
+"""A1 — ablation (§5.3): topological vs flat vs mismatched addressing."""
+
+from repro.experiments.a1_addressing import run_comparison
+from repro.experiments.common import format_table
+
+
+def test_a1_addressing_policies(benchmark, table_sink):
+    rows = benchmark.pedantic(lambda: run_comparison(side=6),
+                              rounds=1, iterations=1)
+    table_sink("A1 (§5.3 ablation): forwarding-table aggregation by "
+               "addressing policy", format_table(rows))
+    by = {r["policy"]: r for r in rows}
+    assert by["topological"]["aggregated_mean"] < by["flat"]["aggregated_mean"]
+    assert (by["topological"]["aggregated_mean"]
+            < by["mismatched"]["aggregated_mean"])
+    assert all(r["lookups_consistent"] for r in rows)

@@ -1,0 +1,35 @@
+"""A2 — ablation (§3.1/§8): EFCP retransmission and congestion policies."""
+
+from repro.experiments.a2_efcp_policies import (run_congestion_ablation,
+                                                run_sweep)
+from repro.experiments.common import format_table
+
+LOSSES = [0.0, 0.05, 0.1, 0.2]
+
+
+def test_a2_retransmission_policies(benchmark, table_sink):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(LOSSES, total_bytes=80_000), rounds=1, iterations=1)
+    table_sink("A2 (§8 ablation): EFCP retransmission policy under loss",
+               format_table(rows))
+    by = {(r["retx"], r["loss"]): r for r in rows}
+    for loss in LOSSES:
+        assert by[("selective", loss)]["delivery_ratio"] == 1.0
+        assert by[("gobackn", loss)]["delivery_ratio"] == 1.0
+    for loss in LOSSES[1:]:
+        assert by[("none", loss)]["delivery_ratio"] < 1.0
+    # at the heavy-loss end, go-back-N pays more retransmissions and (or)
+    # finishes slower than selective repeat
+    heavy = LOSSES[-1]
+    assert (by[("gobackn", heavy)]["retransmissions"]
+            + by[("gobackn", heavy)]["timeouts"]
+            >= by[("selective", heavy)]["timeouts"])
+    assert (by[("selective", heavy)]["goodput_mbps"]
+            >= by[("gobackn", heavy)]["goodput_mbps"] * 0.7)
+
+
+def test_a2_congestion_policies(benchmark, table_sink):
+    rows = benchmark.pedantic(run_congestion_ablation, rounds=1, iterations=1)
+    table_sink("A2b: credit-only vs AIMD congestion policy",
+               format_table(rows))
+    assert all(r["delivery_ratio"] == 1.0 for r in rows)

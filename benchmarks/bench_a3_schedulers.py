@@ -1,0 +1,24 @@
+"""A3 — ablation (§4): RMT multiplexing policy under overload.
+
+Reuses the E8 harness at a fixed overload point and reports per-scheduler
+latency of the delay-sensitive class — the multiplexing task is one of the
+three task sets of every IPC process, and this is its policy knob.
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.e8_utilization import run_point
+
+OVERLOAD = 1.1
+
+
+def test_a3_scheduler_ablation(benchmark, table_sink):
+    def run():
+        return [run_point(scheduler, OVERLOAD, duration=5.0)
+                for scheduler in ("fifo", "priority", "drr")]
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_sink("A3 (§4 ablation): RMT scheduling policy at 1.1x load",
+               format_table(rows))
+    by = {r["scheduler"]: r for r in rows}
+    assert by["priority"]["p99_ms"] < by["fifo"]["p99_ms"]
+    assert by["drr"]["p99_ms"] < by["fifo"]["p99_ms"]
+    assert by["priority"]["delivery_ratio"] >= 0.99

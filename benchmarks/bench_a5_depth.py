@@ -1,0 +1,21 @@
+"""A5 — ablation (§1.2/§4): the cost of each level of recursion."""
+
+from repro.experiments.a5_depth import run_sweep
+from repro.experiments.common import format_table
+
+
+def test_a5_recursion_depth(benchmark, table_sink):
+    rows = benchmark.pedantic(lambda: run_sweep([1, 2, 3, 4]),
+                              rounds=1, iterations=1)
+    table_sink("A5 (§4 ablation): cost per recursion level on a clean wire",
+               format_table(rows))
+    assert all(r["completed"] for r in rows)
+    goodputs = [r["goodput_mbps"] for r in rows]
+    overheads = [r["wire_bytes_per_payload_byte"] for r in rows]
+    rtts = [r["rtt_p50_ms"] for r in rows]
+    # each layer costs: goodput falls, wire overhead and RTT rise
+    assert goodputs == sorted(goodputs, reverse=True)
+    assert overheads == sorted(overheads)
+    assert rtts == sorted(rtts)
+    # but the cost stays modest: 4 layers retain >75% of 1-layer goodput
+    assert goodputs[-1] > 0.75 * goodputs[0]

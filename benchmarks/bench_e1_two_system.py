@@ -1,0 +1,34 @@
+"""E1 — Figure 1: one IPC layer between two hosts (loss sweep).
+
+Regenerates the E1 table of EXPERIMENTS.md: reliable vs best-effort cubes
+across link loss rates, plus the port-id locality check.
+"""
+
+from repro.core.qos import BEST_EFFORT, RELIABLE
+from repro.experiments.common import format_table
+from repro.experiments.e1_two_system import run_port_id_locality, run_sweep
+
+LOSSES = [0.0, 0.02, 0.05, 0.1, 0.2]
+
+
+def test_e1_loss_sweep(benchmark, table_sink):
+    def run():
+        rows = run_sweep(LOSSES, RELIABLE, messages=150)
+        rows += run_sweep([0.1, 0.2], BEST_EFFORT, messages=150)
+        return rows
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_sink("E1 (Fig 1): two-system IPC under link loss",
+               format_table(rows))
+    reliable = [r for r in rows if r["qos"] == "reliable"]
+    assert all(r["delivery_ratio"] == 1.0 for r in reliable)
+    best_effort = [r for r in rows if r["qos"] == "best-effort"]
+    assert all(r["delivery_ratio"] < 1.0 for r in best_effort)
+
+
+def test_e1_port_id_locality(benchmark, table_sink):
+    result = benchmark.pedantic(run_port_id_locality, rounds=1, iterations=1)
+    table_sink("E1b: port IDs are local, no well-known ports",
+               format_table([{"check": k, "value": v}
+                             for k, v in result.items()]))
+    assert result["client_ports_distinct"]
+    assert result["no_well_known_port"]

@@ -1,0 +1,15 @@
+"""E2 — Figure 2: IPC through dedicated relaying systems (hop sweep)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.e2_relay import run_sweep
+
+
+def test_e2_relay_chain(benchmark, table_sink):
+    rows = benchmark.pedantic(lambda: run_sweep([1, 2, 4, 8]),
+                              rounds=1, iterations=1)
+    table_sink("E2 (Fig 2): relaying through 1-8 dedicated systems",
+               format_table(rows))
+    assert all(r["delivered"] == 50 for r in rows)
+    rtts = [r["rtt_p50_ms"] for r in rows]
+    assert rtts == sorted(rtts)                      # RTT grows with hops
+    assert all(r["relay_flow_state"] == 0 for r in rows)  # no state in relays

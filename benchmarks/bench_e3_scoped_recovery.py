@@ -1,0 +1,34 @@
+"""E3 — Figure 3 / §6.2: a scoped DIF over the wireless hop vs end-to-end
+recovery only (loss sweep)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.e3_scoped_recovery import run_bursty, run_sweep
+
+LOSSES = [0.0, 0.05, 0.1, 0.2, 0.3]
+
+
+def test_e3_scoped_vs_e2e(benchmark, table_sink):
+    def run():
+        rows = run_sweep(LOSSES, total_bytes=120_000)
+        rows.append(run_bursty("e2e"))
+        rows.append(run_bursty("scoped"))
+        return rows
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_sink("E3 (Fig 3/§6.2): goodput with vs without a wireless-scope DIF",
+               format_table(rows))
+    by = {(r["config"], r["loss"]): r for r in rows}
+    # bursty fades: scoped wins there too
+    assert (by[("scoped", "bursty(GE)")]["goodput_mbps"]
+            > by[("e2e", "bursty(GE)")]["goodput_mbps"])
+    # the scoped configuration wins at every non-trivial loss rate, and the
+    # advantage grows with loss
+    for loss in LOSSES[1:]:
+        assert by[("scoped", loss)]["goodput_mbps"] \
+            > by[("e2e", loss)]["goodput_mbps"]
+    gain_low = (by[("scoped", 0.05)]["goodput_mbps"]
+                / by[("e2e", 0.05)]["goodput_mbps"])
+    gain_high = (by[("scoped", 0.3)]["goodput_mbps"]
+                 / by[("e2e", 0.3)]["goodput_mbps"])
+    assert gain_high > gain_low
+    # the wide-scope layer stays clean in the scoped config
+    assert all(by[("scoped", loss)]["top_layer_retx"] == 0 for loss in LOSSES)

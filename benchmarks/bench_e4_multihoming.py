@@ -1,0 +1,26 @@
+"""E4 — Figure 4 / §6.3: multihoming failover — RINA vs TCP vs SCTP."""
+
+import math
+
+from repro.experiments.common import format_table
+from repro.experiments.e4_multihoming import run_comparison
+
+
+def test_e4_failover_comparison(benchmark, table_sink):
+    rows = benchmark.pedantic(
+        lambda: run_comparison(rina_keepalives=[0.1, 0.2, 0.5]),
+        rounds=1, iterations=1)
+    table_sink("E4 (Fig 4/§6.3): multihomed-host failover",
+               format_table(rows))
+    rina = [r for r in rows if r["stack"].startswith("rina")]
+    tcp = [r for r in rows if r["stack"] == "tcp"][0]
+    sctp = [r for r in rows if r["stack"].startswith("sctp")][0]
+    assert all(r["survived"] for r in rina)
+    assert not tcp["survived"] and math.isinf(tcp["outage_s"])
+    assert sctp["survived"]
+    # RINA outage is bounded by its *policy* (keepalive budget) and
+    # monotone in it — the knob an IPC facility tunes per scope
+    outages = [r["outage_s"] for r in rina]
+    assert outages == sorted(outages)
+    for row in rina:
+        assert row["outage_s"] < row["detection_budget_s"] + 1.0

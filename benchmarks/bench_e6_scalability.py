@@ -1,0 +1,29 @@
+"""E6 — §6.5: routing state and update scope, flat vs recursive (size sweep)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.e6_scalability import run_sweep
+
+SIZES = [(3, 4), (4, 8), (5, 12)]   # (regions, hosts/region)
+
+
+def test_e6_state_and_scope(benchmark, table_sink):
+    rows = benchmark.pedantic(lambda: run_sweep(SIZES), rounds=1, iterations=1)
+    table_sink("E6 (§6.5): per-system routing state and failure-update scope",
+               format_table(rows))
+    flat = [r for r in rows if r["config"] == "flat"]
+    recursive = [r for r in rows if r["config"] == "recursive"]
+    ip_rip = [r for r in rows if r["config"] == "ip+rip"]
+    # the real-protocol IP baseline behaves like the flat DIF: full-size
+    # tables, whole-network flap footprint, plus steady periodic chatter
+    for row in ip_rip:
+        assert row["flap_update_scope"] == row["systems"]
+        assert row["updates_per_s"] > 0
+    for f, r in zip(flat, recursive):
+        assert r["total_state"] < f["total_state"]
+        assert r["flap_update_scope"] < f["flap_update_scope"]
+        assert f["flap_update_scope"] == f["systems"]
+    # flat total state grows ~quadratically; recursive stays near-linear
+    flat_growth = flat[-1]["total_state"] / flat[0]["total_state"]
+    recursive_growth = (recursive[-1]["total_state"]
+                        / recursive[0]["total_state"])
+    assert flat_growth > recursive_growth

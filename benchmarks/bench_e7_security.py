@@ -1,0 +1,31 @@
+"""E7 — §6.1: attack surface of the DIF vs the public IP internet."""
+
+from repro.experiments.common import format_table
+from repro.experiments.e7_security import run_comparison
+
+COLUMNS = ["world", "attacker_enrolled", "enroll_denials", "pdus_injected",
+           "pdus_blocked_at_gate", "members_discovered", "service_reached",
+           "services_connected", "rogue_flow_granted", "allowed_flow_granted",
+           "denials_logged"]
+
+
+def test_e7_attack_surface(benchmark, table_sink):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table_sink("E7 (§6.1): attack surface — enrollment, injection, scanning",
+               format_table(rows, columns=COLUMNS))
+    by = {r["world"]: r for r in rows}
+    for auth in ("challenge", "psk"):
+        world = by[f"rina({auth})"]
+        assert not world["attacker_enrolled"]
+        assert world["pdus_blocked_at_gate"] == world["pdus_injected"]
+        assert world["members_discovered"] == 0
+        assert not world["service_reached"]
+    # public DIF = the degenerate current-Internet case (§6.7)
+    assert by["rina(none)"]["attacker_enrolled"]
+    assert by["rina(none)"]["service_reached"]
+    # insider held back by flow access control (§5.3)
+    assert not by["rina(insider-acl)"]["rogue_flow_granted"]
+    assert by["rina(insider-acl)"]["allowed_flow_granted"]
+    # IP: wire access = full visibility
+    assert by["ip"]["members_discovered"] >= 3
+    assert by["ip"]["service_reached"]

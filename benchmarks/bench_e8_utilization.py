@@ -1,0 +1,24 @@
+"""E8 — §6.6/§1: achievable utilization before QoS violation (load sweep,
+per multiplexing policy)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.e8_utilization import (achievable_utilization,
+                                              run_sweep)
+
+LOADS = [0.4, 0.6, 0.8, 0.9, 1.0, 1.1]
+
+
+def test_e8_utilization_before_violation(benchmark, table_sink):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(LOADS, duration=5.0), rounds=1, iterations=1)
+    best = achievable_utilization(rows)
+    summary = [{"scheduler": name, "max_load_meeting_sla": load}
+               for name, load in sorted(best.items())]
+    table_sink("E8 (§6.6): delay-SLA compliance vs offered load",
+               format_table(rows) + "\n\nheadline:\n"
+               + format_table(summary))
+    # cube-aware scheduling sustains strictly higher load than FIFO
+    assert best["priority"] > best["fifo"]
+    # the FIFO (best-effort) ceiling sits in the regime the paper cites
+    assert best["fifo"] <= 0.9
+    assert best["priority"] >= 1.0

@@ -1,0 +1,26 @@
+"""E9 — §6.5/§6.7: private addressing everywhere, with and without NAT."""
+
+from repro.experiments.common import format_table
+from repro.experiments.e9_private_addresses import run_comparison
+
+COLUMNS = ["world", "outbound_attempted", "outbound_established",
+           "border_state_total", "pool_exhausted_drops", "inbound_attempts",
+           "inbound_succeeded", "inbound_blocked", "site_addresses_identical"]
+
+
+def test_e9_nat_vs_dif(benchmark, table_sink):
+    rows = benchmark.pedantic(
+        lambda: run_comparison(sites=3, hosts_per_site=2, flows_per_host=40,
+                               port_pool=64),
+        rounds=1, iterations=1)
+    table_sink("E9 (§6.5/§6.7): identical private address plans per site",
+               format_table(rows, columns=COLUMNS))
+    nat = [r for r in rows if r["world"].startswith("ip+nat")][0]
+    rina = [r for r in rows if r["world"] == "rina"][0]
+    assert nat["border_state_total"] > 0
+    assert nat["pool_exhausted_drops"] > 0
+    assert nat["inbound_succeeded"] == 0
+    assert rina["border_state_total"] == 0
+    assert rina["outbound_established"] == rina["outbound_attempted"]
+    assert rina["inbound_succeeded"] == rina["inbound_attempts"]
+    assert rina["site_addresses_identical"]

@@ -1,0 +1,30 @@
+"""Benchmark-suite plumbing: collect result tables and print them after the
+pytest-benchmark timing summary, plus persist them under benchmarks/results/.
+"""
+
+import os
+
+import pytest
+
+_TABLES = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def table_sink():
+    """Fixture: call ``sink(title, text)`` to report an experiment table."""
+    def sink(title: str, text: str) -> None:
+        _TABLES.append((title, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        slug = title.split(" ")[0].lower().replace("/", "-")
+        path = os.path.join(_RESULTS_DIR, f"{slug}.txt")
+        with open(path, "w") as handle:
+            handle.write(title + "\n\n" + text + "\n")
+    return sink
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, text in _TABLES:
+        terminalreporter.write_sep("=", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Figure 4 live: multihoming by two-step routing, vs TCP and SCTP.
+
+A host holds two attachments to its provider; steady request/response
+traffic flows; the primary link is cut mid-stream.  Watch:
+
+* the DIF flow survive with an outage bounded by the keepalive policy —
+  routing's step one (next hop) never changes, step two (PoA selection)
+  just picks the surviving attachment;
+* the TCP connection die (it *is* the dead interface's address);
+* the SCTP association limp over after transport-layer heartbeats.
+
+Run:  python examples/multihoming_failover.py
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.e4_multihoming import run_rina, run_sctp, run_tcp
+
+
+def main() -> None:
+    rows = []
+    for keepalive in (0.1, 0.2, 0.5):
+        row = run_rina(keepalive_interval=keepalive)
+        rows.append(row)
+        print(f"  RINA ka={keepalive}s: survived={row['survived']}, "
+              f"outage={row['outage_s']:.2f}s "
+              f"(detection budget {row['detection_budget_s']:.1f}s)")
+    tcp_row = run_tcp()
+    rows.append(tcp_row)
+    print(f"  TCP: survived={tcp_row['survived']}, "
+          f"aborted {tcp_row['aborted_at_s']:.0f}s after the failure"
+          if tcp_row["aborted_at_s"] is not None else
+          f"  TCP: survived={tcp_row['survived']}")
+    sctp_row = run_sctp()
+    rows.append(sctp_row)
+    print(f"  SCTP: survived={sctp_row['survived']}, "
+          f"outage={sctp_row['outage_s']:.2f}s")
+    print()
+    print(format_table(rows, title="Fig 4 reproduction: failover at t=2s"))
+    print()
+    print("The RINA outage is a policy knob (keepalive interval) of the")
+    print("facility — not a new protocol; TCP cannot recover at all;")
+    print("SCTP recovers by doing 'degenerate routing' at the transport.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Command-line entry point: run examples and experiments by name.
+
+Usage::
+
+    python -m repro                 # list what is available
+    python -m repro e1              # run one experiment, print its table
+    python -m repro e3 e4           # several in sequence
+    python -m repro all             # the whole battery
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from .experiments.common import format_table
+
+
+def _e1() -> List[dict]:
+    from .core.qos import BEST_EFFORT, RELIABLE
+    from .experiments.e1_two_system import run_sweep
+    return (run_sweep([0.0, 0.05, 0.1, 0.2], RELIABLE, messages=150)
+            + run_sweep([0.1, 0.2], BEST_EFFORT, messages=150))
+
+
+def _e2() -> List[dict]:
+    from .experiments.e2_relay import run_sweep
+    return run_sweep([1, 2, 4, 8])
+
+
+def _e3() -> List[dict]:
+    from .experiments.e3_scoped_recovery import run_bursty, run_sweep
+    rows = run_sweep([0.0, 0.1, 0.2, 0.3], total_bytes=120_000)
+    rows.append(run_bursty("e2e"))
+    rows.append(run_bursty("scoped"))
+    return rows
+
+
+def _e4() -> List[dict]:
+    from .experiments.e4_multihoming import run_comparison
+    return run_comparison()
+
+
+def _e5() -> List[dict]:
+    from .experiments.e5_mobility import run_comparison, run_rina
+    rows = run_comparison()
+    rows += [r for r in run_rina(make_before_break=False)
+             if r["move"] == "inter-region"]
+    return rows
+
+
+def _e6() -> List[dict]:
+    from .experiments.e6_scalability import run_sweep
+    return run_sweep([(3, 4), (4, 8)])
+
+
+def _e7() -> List[dict]:
+    from .experiments.e7_security import run_comparison
+    return run_comparison()
+
+
+def _e8() -> List[dict]:
+    from .experiments.e8_utilization import run_sweep
+    return run_sweep([0.5, 0.8, 0.9, 1.0, 1.1], duration=4.0)
+
+
+def _e9() -> List[dict]:
+    from .experiments.e9_private_addresses import run_comparison
+    return run_comparison()
+
+
+def _a1() -> List[dict]:
+    from .experiments.a1_addressing import run_comparison
+    return run_comparison(side=5)
+
+
+def _a2() -> List[dict]:
+    from .experiments.a2_efcp_policies import run_sweep
+    return run_sweep([0.0, 0.05, 0.1, 0.2], total_bytes=80_000)
+
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "e1": ("Fig 1: two-system IPC under loss", _e1),
+    "e2": ("Fig 2: relaying through dedicated systems", _e2),
+    "e3": ("Fig 3/§6.2: wireless-scope DIF vs end-to-end", _e3),
+    "e4": ("Fig 4/§6.3: multihoming failover vs TCP/SCTP", _e4),
+    "e5": ("Fig 5/§6.4: mobility vs Mobile-IP (+A4 ablation)", _e5),
+    "e6": ("§6.5: flat vs recursive routing state", _e6),
+    "e7": ("§6.1: attack surface", _e7),
+    "e8": ("§6.6: utilization before QoS violation", _e8),
+    "e9": ("§6.5/§6.7: private addressing without NAT", _e9),
+    "a1": ("ablation: addressing policies", _a1),
+    "a2": ("ablation: EFCP policies", _a2),
+}
+
+
+def main(argv: List[str]) -> int:
+    """Entry point; returns a process exit code."""
+    if not argv:
+        print("repro — 'Networking is IPC' (Day/Matta/Mattar 2008), "
+              "executable reproduction\n")
+        print("usage: python -m repro <experiment> [...] | all\n")
+        for key, (title, _fn) in EXPERIMENTS.items():
+            print(f"  {key}   {title}")
+        print("\n(see also: pytest benchmarks/ --benchmark-only, examples/)")
+        return 0
+    wanted = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [key for key in wanted if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for key in wanted:
+        title, runner = EXPERIMENTS[key]
+        print(f"\n=== {key}: {title} ===")
+        rows = runner()
+        print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

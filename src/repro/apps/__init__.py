@@ -1,0 +1,22 @@
+"""Applications written against the IPC API (§3.1).
+
+Each demonstrates one service class the paper says a DIF subsumes:
+echo (liveness/latency), file transfer (bulk data), RPC (transactions,
+§6.6), and mail relaying (application relaying, §6.6).
+"""
+
+from .echo import EchoClient, EchoServer
+from .filetransfer import FileSender, FileSink
+from .pubsub import Broker, PubSubClient
+from .relay import Mailbox, MailRelay, send_mail
+from .rpc import RpcClient, RpcServer
+from .streaming import CbrSource, LatencySink
+
+__all__ = [
+    "EchoServer", "EchoClient",
+    "FileSink", "FileSender",
+    "RpcServer", "RpcClient",
+    "Mailbox", "MailRelay", "send_mail",
+    "Broker", "PubSubClient",
+    "CbrSource", "LatencySink",
+]

@@ -1,0 +1,112 @@
+"""A DNS-like resolver — name lookup that *returns the address to the
+requester*.
+
+The paper contrasts this explicitly (§5.3): "Unlike the current Internet
+architecture, which looks up a name in DNS and returns the result to the
+requester, here, once an address has been found, the request continues to
+the identified IPC process..."  Handing the address back is what makes
+every service's location public — the attack surface experiment E7
+exploits exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Engine, Timer
+from .ipnet import ip_str
+from .udp import UdpStack
+
+DNS_PORT = 53
+
+_QUERY = "query"
+_ANSWER = "answer"
+_NXDOMAIN = "nxdomain"
+
+
+class DnsServer:
+    """Authoritative name → address store served over UDP port 53."""
+
+    def __init__(self, udp: UdpStack, server_ip: int) -> None:
+        self._udp = udp
+        self._ip = server_ip
+        self._records: Dict[str, int] = {}
+        self.queries_served = 0
+        udp.bind(DNS_PORT, self._on_datagram)
+
+    def add_record(self, name: str, address: int) -> None:
+        """Publish an A-record."""
+        self._records[name] = address
+
+    def remove_record(self, name: str) -> None:
+        """Withdraw a record."""
+        self._records.pop(name, None)
+
+    def _on_datagram(self, payload: object, _size: int, src_ip: int,
+                     src_port: int) -> None:
+        kind, name, _addr = payload
+        if kind != _QUERY:
+            return
+        self.queries_served += 1
+        address = self._records.get(name)
+        if address is None:
+            reply = (_NXDOMAIN, name, 0)
+        else:
+            reply = (_ANSWER, name, address)
+        self._udp.sendto(self._ip, DNS_PORT, src_ip, src_port, reply,
+                         16 + len(name))
+
+
+ResolveCallback = Callable[[Optional[int]], None]
+
+
+class DnsClient:
+    """Stub resolver with timeout+retry."""
+
+    def __init__(self, engine: Engine, udp: UdpStack, client_ip: int,
+                 server_ip: int, timeout: float = 1.0, retries: int = 3) -> None:
+        self._engine = engine
+        self._udp = udp
+        self._ip = client_ip
+        self._server_ip = server_ip
+        self._timeout = timeout
+        self._retries = retries
+        self._port = udp.bind(0, self._on_datagram)
+        self._pending: Dict[str, tuple] = {}  # name -> (callback, timer, left)
+        self.lookups = 0
+
+    def resolve(self, name: str, callback: ResolveCallback) -> None:
+        """Resolve ``name``; callback gets the address or None."""
+        self.lookups += 1
+        timer = Timer(self._engine, lambda: self._on_timeout(name),
+                      label="dns.timeout")
+        self._pending[name] = (callback, timer, self._retries)
+        self._send_query(name)
+        timer.start(self._timeout)
+
+    def _send_query(self, name: str) -> None:
+        self._udp.sendto(self._ip, self._port, self._server_ip, DNS_PORT,
+                         (_QUERY, name, 0), 16 + len(name))
+
+    def _on_datagram(self, payload: object, _size: int, _src_ip: int,
+                     _src_port: int) -> None:
+        kind, name, address = payload
+        entry = self._pending.pop(name, None)
+        if entry is None:
+            return
+        callback, timer, _left = entry
+        timer.cancel()
+        callback(address if kind == _ANSWER else None)
+
+    def _on_timeout(self, name: str) -> None:
+        entry = self._pending.get(name)
+        if entry is None:
+            return
+        callback, timer, left = entry
+        if left <= 0:
+            del self._pending[name]
+            callback(None)
+            return
+        self._pending[name] = (callback, timer, left - 1)
+        self._send_query(name)
+        timer.start(self._timeout)

@@ -1,0 +1,132 @@
+"""Network Address Translation — "the kludge of NAT boxes" (§6.5).
+
+The paper's claim: because the IP architecture has *one* public address
+space, private addressing needs an in-network rewriting box that (a) keeps
+per-flow state, (b) exhausts its port pool under load, and (c) breaks
+unsolicited inbound reachability.  In the IPC architecture "private
+addresses are the norm" and none of these pathologies exist (experiment
+E9 measures the contrast).
+
+The :class:`NatBox` attaches to a router's :class:`IpStack` receive hook:
+outbound flows from the private side are rewritten to (public address,
+allocated port); inbound packets to the public address are translated back
+when — and only when — a mapping exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .ipnet import PROTO_TCP, PROTO_UDP, IpPacket, IpStack, prefix_of
+from .tcp import TcpSegment
+from .udp import UdpDatagram
+
+MapKey = Tuple[int, int, int]  # private ip, private port, proto
+
+
+class NatBox:
+    """Port-translating NAT on one router.
+
+    Parameters
+    ----------
+    stack:
+        The router's IP stack (hooked in place).
+    inside_prefix / inside_plen:
+        The private address block behind this NAT.
+    public_ip:
+        The single public address flows are rewritten to.
+    port_pool:
+        Size of the translation port pool — the exhaustion bound.
+    """
+
+    def __init__(self, stack: IpStack, inside_prefix: int, inside_plen: int,
+                 public_ip: int, port_pool: int = 1024,
+                 port_base: int = 20000) -> None:
+        self._stack = stack
+        self._inside_prefix = inside_prefix
+        self._inside_plen = inside_plen
+        self.public_ip = public_ip
+        self._port_base = port_base
+        self._port_pool = port_pool
+        self._out_map: Dict[MapKey, int] = {}
+        self._in_map: Dict[Tuple[int, int], MapKey] = {}  # (public port, proto)
+        self.translations_out = 0
+        self.translations_in = 0
+        self.drops_no_mapping = 0
+        self.drops_pool_exhausted = 0
+        stack.receive_hook = self._hook
+
+    # ------------------------------------------------------------------
+    def active_mappings(self) -> int:
+        """Current translation-table occupancy (E9 metric)."""
+        return len(self._out_map)
+
+    def release(self, private_ip: int, private_port: int, proto: int) -> None:
+        """Explicitly expire one mapping (connection closed)."""
+        key = (private_ip, private_port, proto)
+        public_port = self._out_map.pop(key, None)
+        if public_port is not None:
+            self._in_map.pop((public_port, proto), None)
+
+    # ------------------------------------------------------------------
+    def _is_inside(self, address: int) -> bool:
+        return prefix_of(address, self._inside_plen) == self._inside_prefix
+
+    def _ports_of(self, packet: IpPacket) -> Optional[Tuple[int, int]]:
+        if packet.proto == PROTO_TCP:
+            segment: TcpSegment = packet.payload
+            return segment.src_port, segment.dst_port
+        if packet.proto == PROTO_UDP:
+            datagram: UdpDatagram = packet.payload
+            return datagram.src_port, datagram.dst_port
+        return None
+
+    def _rewrite(self, packet: IpPacket, src: int, dst: int,
+                 src_port: Optional[int], dst_port: Optional[int]) -> IpPacket:
+        payload = packet.payload
+        if packet.proto == PROTO_TCP:
+            old: TcpSegment = payload
+            payload = TcpSegment(
+                src_port if src_port is not None else old.src_port,
+                dst_port if dst_port is not None else old.dst_port,
+                old.seq, old.ack, old.flags, old.window, old.length)
+        elif packet.proto == PROTO_UDP:
+            old_d: UdpDatagram = payload
+            payload = UdpDatagram(
+                src_port if src_port is not None else old_d.src_port,
+                dst_port if dst_port is not None else old_d.dst_port,
+                old_d.payload, old_d.payload_size)
+        return IpPacket(src, dst, packet.proto, payload, packet.payload_size,
+                        ttl=packet.ttl)
+
+    def _hook(self, packet: IpPacket, _ifname: str) -> Optional[IpPacket]:
+        ports = self._ports_of(packet)
+        if ports is None:
+            return packet
+        src_port, dst_port = ports
+        # outbound: private source leaving toward the public side
+        if self._is_inside(packet.src) and not self._is_inside(packet.dst):
+            key = (packet.src, src_port, packet.proto)
+            public_port = self._out_map.get(key)
+            if public_port is None:
+                if len(self._out_map) >= self._port_pool:
+                    self.drops_pool_exhausted += 1
+                    return None
+                public_port = self._port_base + len(self._out_map)
+                self._out_map[key] = public_port
+                self._in_map[(public_port, packet.proto)] = key
+            self.translations_out += 1
+            return self._rewrite(packet, self.public_ip, packet.dst,
+                                 public_port, None)
+        # inbound: addressed to our public identity
+        if packet.dst == self.public_ip:
+            key = self._in_map.get((dst_port, packet.proto))
+            if key is None:
+                # unsolicited inbound: the reachability breakage E9 counts
+                self.drops_no_mapping += 1
+                return None
+            private_ip, private_port, _proto = key
+            self.translations_in += 1
+            return self._rewrite(packet, packet.src, private_ip,
+                                 None, private_port)
+        return packet

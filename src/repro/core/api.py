@@ -1,0 +1,110 @@
+"""The application-facing IPC API (§3.1).
+
+What the paper demands of the interface: the source names the destination
+application and the desired properties; the facility locates the
+application, enforces access, allocates, and returns *port IDs* — never
+addresses, never well-known ports.
+
+:class:`~repro.core.system.System` provides exactly that
+(``register_app`` / ``allocate_flow``).  This module adds the two
+conveniences real applications want on top of raw SDUs:
+
+* :class:`MessageFlow` — arbitrary-size messages over a flow, using the
+  delimiting module, with an internal retry queue against backpressure;
+* :class:`FlowWaiter` — synchronous-style wait-for-allocation used by
+  examples and tests driving the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..sim.engine import Engine, Timer
+from .delimiting import Delimiter, Fragment, Reassembler
+from .flow import Flow
+from .names import ApplicationName
+from .qos import QosCube
+
+MessageReceiver = Callable[[bytes], None]
+
+
+class MessageFlow:
+    """Message framing over a flow: send/receive whole byte messages.
+
+    Fragments that the flow refuses (send-buffer backpressure) are queued
+    and retried on a timer, preserving order.
+    """
+
+    def __init__(self, engine: Engine, flow: Flow, max_fragment: int = 1400,
+                 retry_delay: float = 0.01) -> None:
+        self._engine = engine
+        self.flow = flow
+        self._delimiter = Delimiter(max_fragment)
+        self._reassembler = Reassembler()
+        self._receiver: Optional[MessageReceiver] = None
+        self._backlog: List[Fragment] = []
+        self._retry_delay = retry_delay
+        self._retry_timer = Timer(engine, self._drain, label="msgflow.retry")
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_received = 0
+        flow.set_receiver(self._on_sdu)
+
+    def set_message_receiver(self, receiver: MessageReceiver) -> None:
+        """Callback invoked with each completely reassembled message."""
+        self._receiver = receiver
+
+    def send_message(self, data: bytes) -> None:
+        """Queue one message for transmission (fragments as needed)."""
+        self._backlog.extend(self._delimiter.delimit(data))
+        self.messages_sent += 1
+        self._drain()
+
+    def pending_fragments(self) -> int:
+        """Fragments queued locally awaiting flow capacity."""
+        return len(self._backlog)
+
+    def _drain(self) -> None:
+        if not self.flow.allocated:
+            return
+        while self._backlog:
+            fragment = self._backlog[0]
+            if not self.flow.send(fragment, fragment.wire_size()):
+                self._retry_timer.start(self._retry_delay)
+                return
+            self._backlog.pop(0)
+
+    def _on_sdu(self, payload: Any, size: int) -> None:
+        if not isinstance(payload, Fragment):
+            return
+        message = self._reassembler.push(payload)
+        if message is not None:
+            self.messages_received += 1
+            self.bytes_received += len(message)
+            if self._receiver is not None:
+                self._receiver(message)
+
+
+class FlowWaiter:
+    """Records a flow's allocation outcome for poll-style tests/examples."""
+
+    def __init__(self, flow: Flow) -> None:
+        self.flow = flow
+        self.completed = False
+        self.ok = False
+        self.reason: Optional[str] = None
+        flow.on_allocated = self._on_ok
+        flow.on_failed = self._on_fail
+
+    def _on_ok(self, _flow: Flow) -> None:
+        self.completed = True
+        self.ok = True
+
+    def _on_fail(self, _flow: Flow, reason: str) -> None:
+        self.completed = True
+        self.ok = False
+        self.reason = reason
+
+    def done(self) -> bool:
+        """True once allocation succeeded or failed."""
+        return self.completed

@@ -1,0 +1,473 @@
+"""EFCP — the Error and Flow Control Protocol (§3.1, §4).
+
+EFCP is the per-flow data-transfer machinery of an IPC process.  Following
+the paper's separation of mechanism and policy (§8), the mechanisms here —
+sequencing, retransmission, sliding-window flow control, congestion
+response — are fixed, while :class:`EfcpPolicy` selects among behaviours:
+
+* retransmission: ``"selective"`` repeat, ``"gobackn"``, or ``"none"``;
+* flow control: credit window granted by the receiver;
+* congestion: ``"none"`` (pure credit) or ``"aimd"`` window adaptation;
+* ordering: in-order delivery or immediate delivery.
+
+One :class:`EfcpConnection` is one end of one flow.  It is deliberately
+unaware of addresses' meaning, of routing, and of what carries its PDUs —
+it only emits PDUs through an output callback (the RMT) and consumes PDUs
+handed to it.  The same class therefore serves every rank of DIF, from a
+shim over one cable to an internet-wide facility: only policies differ,
+which is the paper's central claim about the repeating structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Engine, Timer
+from .names import Address
+from .pdu import ACK, ControlPdu, DataPdu
+from .qos import QosCube
+
+OutputFn = Callable[[Any], None]        # receives DataPdu / ControlPdu
+DeliverFn = Callable[[Any, int], None]  # receives (payload, size)
+
+RETX_SELECTIVE = "selective"
+RETX_GOBACKN = "gobackn"
+RETX_NONE = "none"
+
+CONGESTION_NONE = "none"
+CONGESTION_AIMD = "aimd"
+
+
+class EfcpPolicy:
+    """Policy bundle configuring an EFCP connection.
+
+    Attributes mirror the knobs the paper says must be tunable per DIF so
+    each layer can "operate over different ranges of the performance space".
+    """
+
+    __slots__ = ("reliable", "in_order", "retx", "congestion", "initial_credit",
+                 "send_buffer_limit", "rto_initial", "rto_min", "rto_max",
+                 "max_retries", "give_up", "ack_delay", "sack_limit",
+                 "initial_cwnd")
+
+    def __init__(self, reliable: bool = True, in_order: bool = True,
+                 retx: Optional[str] = None, congestion: str = CONGESTION_NONE,
+                 initial_credit: int = 64, send_buffer_limit: int = 1024,
+                 rto_initial: float = 0.25, rto_min: float = 0.02,
+                 rto_max: float = 4.0, max_retries: int = 30,
+                 give_up: bool = False, ack_delay: float = 0.0,
+                 sack_limit: int = 16, initial_cwnd: int = 4) -> None:
+        if retx is None:
+            retx = RETX_SELECTIVE if reliable else RETX_NONE
+        if retx not in (RETX_SELECTIVE, RETX_GOBACKN, RETX_NONE):
+            raise ValueError(f"unknown retransmission policy {retx!r}")
+        if congestion not in (CONGESTION_NONE, CONGESTION_AIMD):
+            raise ValueError(f"unknown congestion policy {congestion!r}")
+        if reliable and retx == RETX_NONE:
+            raise ValueError("a reliable flow needs a retransmission policy")
+        if initial_credit < 1:
+            raise ValueError("credit window must be at least 1")
+        self.reliable = reliable
+        self.in_order = in_order
+        self.retx = retx
+        self.congestion = congestion
+        self.initial_credit = initial_credit
+        self.send_buffer_limit = send_buffer_limit
+        self.rto_initial = rto_initial
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.max_retries = max_retries
+        self.give_up = give_up
+        self.ack_delay = ack_delay
+        self.sack_limit = sack_limit
+        self.initial_cwnd = initial_cwnd
+
+    @classmethod
+    def for_cube(cls, cube: QosCube, **overrides: Any) -> "EfcpPolicy":
+        """Derive a policy from a QoS cube (the flow allocator's mapping)."""
+        kwargs: Dict[str, Any] = dict(reliable=cube.reliable,
+                                      in_order=cube.in_order)
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "reliable" if self.reliable else "unreliable"
+        return f"<EfcpPolicy {kind} retx={self.retx} cc={self.congestion}>"
+
+
+class EfcpStats:
+    """Per-connection counters exposed to experiments."""
+
+    __slots__ = ("pdus_sent", "retransmissions", "pdus_received", "duplicates",
+                 "out_of_order", "sdus_delivered", "bytes_delivered",
+                 "acks_sent", "acks_received", "timeouts", "stalls",
+                 "send_rejected")
+
+    def __init__(self) -> None:
+        self.pdus_sent = 0
+        self.retransmissions = 0
+        self.pdus_received = 0
+        self.duplicates = 0
+        self.out_of_order = 0
+        self.sdus_delivered = 0
+        self.bytes_delivered = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.timeouts = 0
+        self.stalls = 0
+        self.send_rejected = 0
+
+
+class EfcpConnection:
+    """One end of an EFCP connection (full duplex: sender + receiver halves).
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (timers, clock).
+    local_addr / remote_addr:
+        DIF-internal addresses of the two IPC processes.
+    local_cep / remote_cep:
+        Connection-endpoint ids allocated by the flow allocator.
+    policy:
+        The :class:`EfcpPolicy` in force.
+    output:
+        Callback receiving every outbound PDU (normally the RMT).
+    deliver:
+        Callback receiving each in-order SDU ``(payload, size)``.
+    priority:
+        RMT scheduling priority stamped on data PDUs (from the QoS cube).
+    """
+
+    def __init__(self, engine: Engine, local_addr: Address, remote_addr: Address,
+                 local_cep: int, remote_cep: int, policy: EfcpPolicy,
+                 output: OutputFn, deliver: DeliverFn, priority: int = 8,
+                 on_stall: Optional[Callable[[], None]] = None,
+                 on_close: Optional[Callable[[], None]] = None) -> None:
+        self._engine = engine
+        self.local_addr = local_addr
+        self.remote_addr = remote_addr
+        self.local_cep = local_cep
+        self.remote_cep = remote_cep
+        self.policy = policy
+        self._output = output
+        self._deliver = deliver
+        self._priority = priority
+        self._on_stall = on_stall
+        self._on_close = on_close
+        self.stats = EfcpStats()
+        self.closed = False
+
+        # --- sender state ---
+        self._next_seq = 0                      # next new sequence number
+        self._send_base = 0                     # oldest unacknowledged
+        self._send_queue: List[Tuple[int, Any, int]] = []  # awaiting window
+        self._outstanding: Dict[int, Tuple[Any, int, float, bool]] = {}
+        # seq -> (payload, size, time_sent, retransmitted)
+        self._credit = policy.initial_credit    # highest seq allowed (excl.)
+        self._retries = 0
+        self._retx_timer = Timer(engine, self._on_retx_timeout, label="efcp.retx")
+        # RTO estimation (RFC 6298 style)
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = policy.rto_initial
+        # congestion window (PDUs); effectively infinite when disabled
+        self._cwnd = float(policy.initial_cwnd)
+        self._ssthresh = float(policy.initial_credit)
+        # fast retransmit: count how often each outstanding seq was "passed"
+        # by selective acks of later PDUs (the SACK analogue of dupacks)
+        self._sack_passes: Dict[int, int] = {}
+        # fast recovery: sequence number that must be passed before another
+        # multiplicative decrease may happen (one decrease per window)
+        self._recovery_point = -1
+
+        # --- receiver state ---
+        self._rcv_expected = 0                  # next in-order seq expected
+        self._rcv_buffer: Dict[int, Tuple[Any, int]] = {}
+        self._rcv_window = policy.initial_credit
+        self._ack_timer = Timer(engine, self._send_ack_now, label="efcp.ack")
+        self._ack_pending = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds."""
+        return self._rto
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT estimate (None before the first sample)."""
+        return self._srtt
+
+    @property
+    def cwnd(self) -> float:
+        """Congestion window in PDUs (meaningful with AIMD policy)."""
+        return self._cwnd
+
+    def outstanding_count(self) -> int:
+        """PDUs sent but not yet acknowledged."""
+        return len(self._outstanding)
+
+    def queued_count(self) -> int:
+        """SDUs accepted but not yet transmitted (window-blocked)."""
+        return len(self._send_queue)
+
+    def all_acknowledged(self) -> bool:
+        """True when every submitted SDU has been acknowledged."""
+        return not self._outstanding and not self._send_queue
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, size: int) -> bool:
+        """Submit one SDU; False when the send buffer is full (backpressure)."""
+        if self.closed:
+            return False
+        buffered = len(self._send_queue) + len(self._outstanding)
+        if buffered >= self.policy.send_buffer_limit:
+            self.stats.send_rejected += 1
+            return False
+        seq = self._next_seq
+        self._next_seq += 1
+        self._send_queue.append((seq, payload, size))
+        self._pump()
+        return True
+
+    def _effective_window_edge(self) -> int:
+        """Highest sequence number (exclusive) the sender may transmit."""
+        edge = self._credit
+        if self.policy.congestion == CONGESTION_AIMD:
+            edge = min(edge, self._send_base + int(self._cwnd))
+        if not self.policy.reliable:
+            # no acks will arrive to slide the window: unconstrained
+            return self._next_seq
+        return edge
+
+    def _pump(self) -> None:
+        """Transmit queued SDUs that now fit in the window."""
+        edge = self._effective_window_edge()
+        while self._send_queue and self._send_queue[0][0] < edge:
+            seq, payload, size = self._send_queue.pop(0)
+            self._transmit(seq, payload, size, retransmit=False)
+
+    def _transmit(self, seq: int, payload: Any, size: int, retransmit: bool) -> None:
+        pdu = DataPdu(self.local_addr, self.remote_addr, self.local_cep,
+                      self.remote_cep, seq, payload, size,
+                      drf=(seq == 0 and not retransmit), priority=self._priority)
+        if self.policy.reliable:
+            previous = self._outstanding.get(seq)
+            already_retx = previous[3] if previous else False
+            self._outstanding[seq] = (payload, size, self._engine.now,
+                                      retransmit or already_retx)
+            if not self._retx_timer.running:
+                self._retx_timer.start(self._rto)
+        self.stats.pdus_sent += 1
+        if retransmit:
+            self.stats.retransmissions += 1
+        self._output(pdu)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _on_retx_timeout(self) -> None:
+        if not self._outstanding or self.closed:
+            return
+        self.stats.timeouts += 1
+        self._retries += 1
+        if self._retries > self.policy.max_retries:
+            self.stats.stalls += 1
+            if self._on_stall is not None:
+                self._on_stall()
+            if self.policy.give_up:
+                self.close()
+                return
+            self._retries = self.policy.max_retries  # keep trying, stay capped
+        # congestion response: multiplicative decrease on timeout
+        if self.policy.congestion == CONGESTION_AIMD:
+            self._ssthresh = max(2.0, self._cwnd / 2.0)
+            self._cwnd = 1.0
+            self._recovery_point = self._next_seq
+        # exponential backoff
+        old_rto = self._rto
+        self._rto = min(self.policy.rto_max, self._rto * 2.0)
+        if self.policy.retx == RETX_GOBACKN:
+            for seq in sorted(self._outstanding):
+                payload, size, _t, _r = self._outstanding[seq]
+                self._transmit(seq, payload, size, retransmit=True)
+        else:
+            # selective repeat: resend every PDU that has aged past the RTO
+            # (each was individually timestamped), so one timeout event
+            # recovers all concurrent losses instead of serializing them.
+            # Under AIMD the burst is capped at the (collapsed) congestion
+            # window — retransmitting a full flight into a congested queue
+            # would defeat the multiplicative decrease.
+            now = self._engine.now
+            budget = None
+            if self.policy.congestion == CONGESTION_AIMD:
+                budget = max(1, int(self._cwnd))
+            for seq in sorted(self._outstanding):
+                if budget is not None and budget <= 0:
+                    break
+                payload, size, sent_at, _r = self._outstanding[seq]
+                if now - sent_at >= old_rto - 1e-12:
+                    self._transmit(seq, payload, size, retransmit=True)
+                    if budget is not None:
+                        budget -= 1
+        self._retx_timer.start(self._rto)
+
+    # ------------------------------------------------------------------
+    # Control (ACK/credit) handling — sender side
+    # ------------------------------------------------------------------
+    def handle_control(self, pdu: ControlPdu) -> None:
+        """Process an inbound DTCP PDU addressed to this connection."""
+        if self.closed:
+            return
+        if pdu.kind != ACK:
+            return
+        self.stats.acks_received += 1
+        now = self._engine.now
+        newly_acked = [seq for seq in self._outstanding if seq < pdu.ack_seq]
+        for seq in pdu.sack:
+            if seq in self._outstanding:
+                newly_acked.append(seq)
+        made_progress = False
+        for seq in newly_acked:
+            payload_size_time_retx = self._outstanding.pop(seq, None)
+            self._sack_passes.pop(seq, None)
+            if payload_size_time_retx is None:
+                continue
+            made_progress = True
+            _payload, _size, sent_at, retransmitted = payload_size_time_retx
+            if not retransmitted:  # Karn's rule: no samples from retransmits
+                self._rtt_sample(now - sent_at)
+            if self.policy.congestion == CONGESTION_AIMD:
+                if self._cwnd < self._ssthresh:
+                    self._cwnd += 1.0          # slow start
+                else:
+                    self._cwnd += 1.0 / self._cwnd  # congestion avoidance
+        if pdu.ack_seq > self._send_base:
+            self._send_base = pdu.ack_seq
+            made_progress = True
+        self._credit = max(self._credit, pdu.credit)
+        if made_progress:
+            self._retries = 0
+            self._retx_timer.cancel()
+            if self._outstanding:
+                self._retx_timer.start(self._rto)
+        self._fast_retransmit(pdu)
+        self._pump()
+
+    def _fast_retransmit(self, pdu: ControlPdu) -> None:
+        """SACK-driven loss recovery: a PDU passed over by three selective
+        acks of later sequence numbers is presumed lost and resent without
+        waiting for the retransmission timer."""
+        if self.policy.retx != RETX_SELECTIVE or not pdu.sack:
+            return
+        highest_sacked = max(pdu.sack)
+        retransmitted = False
+        for seq in sorted(self._outstanding):
+            if seq >= highest_sacked:
+                break
+            passes = self._sack_passes.get(seq, 0) + 1
+            if passes >= 3:
+                self._sack_passes[seq] = 0
+                payload, size, _t, _r = self._outstanding[seq]
+                self._transmit(seq, payload, size, retransmit=True)
+                retransmitted = True
+            else:
+                self._sack_passes[seq] = passes
+        if retransmitted and self.policy.congestion == CONGESTION_AIMD \
+                and self._send_base >= self._recovery_point:
+            # fast recovery: one multiplicative decrease per window of loss
+            self._ssthresh = max(2.0, self._cwnd / 2.0)
+            self._cwnd = self._ssthresh
+            self._recovery_point = self._next_seq
+
+    def _rtt_sample(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(self.policy.rto_max,
+                        max(self.policy.rto_min, self._srtt + 4 * self._rttvar))
+
+    # ------------------------------------------------------------------
+    # Receiving — receiver side
+    # ------------------------------------------------------------------
+    def handle_data(self, pdu: DataPdu) -> None:
+        """Process an inbound DTP PDU addressed to this connection."""
+        if self.closed:
+            return
+        self.stats.pdus_received += 1
+        seq = pdu.seq
+        if not self.policy.reliable:
+            self._receive_unreliable(pdu)
+            return
+        if seq < self._rcv_expected or seq in self._rcv_buffer:
+            self.stats.duplicates += 1
+            self._schedule_ack()
+            return
+        if seq > self._rcv_expected:
+            self.stats.out_of_order += 1
+        self._rcv_buffer[seq] = (pdu.payload, pdu.payload_size)
+        while self._rcv_expected in self._rcv_buffer:
+            payload, size = self._rcv_buffer.pop(self._rcv_expected)
+            self._rcv_expected += 1
+            self._deliver_sdu(payload, size)
+        self._schedule_ack()
+
+    def _receive_unreliable(self, pdu: DataPdu) -> None:
+        if self.policy.in_order:
+            if pdu.seq < self._rcv_expected:
+                self.stats.duplicates += 1
+                return  # late: drop to preserve ordering
+            self._rcv_expected = pdu.seq + 1
+        self._deliver_sdu(pdu.payload, pdu.payload_size)
+
+    def _deliver_sdu(self, payload: Any, size: int) -> None:
+        self.stats.sdus_delivered += 1
+        self.stats.bytes_delivered += size
+        self._deliver(payload, size)
+
+    def _schedule_ack(self) -> None:
+        if self.policy.ack_delay <= 0.0:
+            self._send_ack_now()
+            return
+        self._ack_pending = True
+        if not self._ack_timer.running:
+            self._ack_timer.start(self.policy.ack_delay)
+
+    def _send_ack_now(self) -> None:
+        if self.closed:
+            return
+        self._ack_pending = False
+        sack = tuple(sorted(self._rcv_buffer))[:self.policy.sack_limit]
+        credit = self._rcv_expected + self._rcv_window
+        pdu = ControlPdu(self.local_addr, self.remote_addr, ACK,
+                         self.local_cep, self.remote_cep,
+                         ack_seq=self._rcv_expected, credit=credit, sack=sack)
+        self.stats.acks_sent += 1
+        self._output(pdu)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the connection down locally; pending state is discarded."""
+        if self.closed:
+            return
+        self.closed = True
+        self._retx_timer.cancel()
+        self._ack_timer.cancel()
+        self._send_queue.clear()
+        self._outstanding.clear()
+        self._rcv_buffer.clear()
+        if self._on_close is not None:
+            self._on_close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<EfcpConnection {self.local_addr}:{self.local_cep}->"
+                f"{self.remote_addr}:{self.remote_cep} "
+                f"next={self._next_seq} base={self._send_base}>")

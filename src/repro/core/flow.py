@@ -1,0 +1,141 @@
+"""The flow: what an IPC facility hands its user.
+
+Allocation returns a :class:`Flow` — a port id plus send/receive on an
+agreed QoS — and nothing else.  The user (an application, or the IPC
+process of a higher DIF, which is the same thing) never sees addresses,
+routes, or the facility's internals (§3.1).
+
+A Flow is provider-agnostic: shim DIFs over raw links and full DIFs with
+EFCP both hand out the same object, which is what lets DIFs stack
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .names import ApplicationName, DifName, PortId
+from .qos import QosCube
+
+ReceiverFn = Callable[[Any, int], None]
+
+PENDING = "pending"
+ALLOCATED = "allocated"
+FAILED = "failed"
+DEALLOCATED = "deallocated"
+
+
+class FlowError(RuntimeError):
+    """Raised on operations against a flow in the wrong state."""
+
+
+class Flow:
+    """One end of an allocated communication channel at a layer boundary.
+
+    Created by a provider (shim or DIF flow allocator); the provider wires
+    ``_send_fn`` and ``_dealloc_fn`` when allocation completes.
+    """
+
+    def __init__(self, port_id: PortId, local_app: ApplicationName,
+                 remote_app: ApplicationName, qos: QosCube,
+                 provider_name: DifName) -> None:
+        self.port_id = port_id
+        self.local_app = local_app
+        self.remote_app = remote_app
+        self.qos = qos
+        self.provider_name = provider_name
+        self.state = PENDING
+        self.nominal_bps: Optional[float] = None
+        self._receiver: Optional[ReceiverFn] = None
+        self._send_fn: Optional[Callable[[Any, int], bool]] = None
+        self._dealloc_fn: Optional[Callable[[], None]] = None
+        self.on_allocated: Optional[Callable[["Flow"], None]] = None
+        self.on_failed: Optional[Callable[["Flow", str], None]] = None
+        self.on_deallocated: Optional[Callable[["Flow"], None]] = None
+        self.failure_reason: Optional[str] = None
+        self.sdus_sent = 0
+        self.sdus_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def set_receiver(self, receiver: ReceiverFn) -> None:
+        """Install the callback invoked for every delivered SDU."""
+        self._receiver = receiver
+
+    def send(self, payload: Any, size: int) -> bool:
+        """Send one SDU; False on backpressure.  Raises on unallocated flow."""
+        if self.state != ALLOCATED:
+            raise FlowError(f"cannot send on {self.state} flow {self.port_id!r}")
+        assert self._send_fn is not None
+        accepted = self._send_fn(payload, size)
+        if accepted:
+            self.sdus_sent += 1
+            self.bytes_sent += size
+        return accepted
+
+    def deallocate(self) -> None:
+        """Release the flow; idempotent."""
+        if self.state in (DEALLOCATED, FAILED):
+            return
+        self.state = DEALLOCATED
+        if self._dealloc_fn is not None:
+            self._dealloc_fn()
+        if self.on_deallocated is not None:
+            self.on_deallocated(self)
+
+    @property
+    def allocated(self) -> bool:
+        """True while the flow is usable."""
+        return self.state == ALLOCATED
+
+    # ------------------------------------------------------------------
+    # Provider side
+    # ------------------------------------------------------------------
+    def provider_bind(self, send_fn: Callable[[Any, int], bool],
+                      dealloc_fn: Optional[Callable[[], None]] = None,
+                      nominal_bps: Optional[float] = None) -> None:
+        """Wire the provider's data path into the flow."""
+        self._send_fn = send_fn
+        self._dealloc_fn = dealloc_fn
+        self.nominal_bps = nominal_bps
+
+    def provider_allocated(self) -> None:
+        """Mark allocation complete and notify the user."""
+        if self.state != PENDING:
+            return
+        if self._send_fn is None:
+            raise FlowError("provider_bind must precede provider_allocated")
+        self.state = ALLOCATED
+        if self.on_allocated is not None:
+            self.on_allocated(self)
+
+    def provider_failed(self, reason: str) -> None:
+        """Mark allocation failed and notify the user."""
+        if self.state in (DEALLOCATED, FAILED):
+            return
+        self.state = FAILED
+        self.failure_reason = reason
+        if self.on_failed is not None:
+            self.on_failed(self, reason)
+
+    def provider_deliver(self, payload: Any, size: int) -> None:
+        """Hand one inbound SDU to the user."""
+        self.sdus_received += 1
+        self.bytes_received += size
+        if self._receiver is not None:
+            self._receiver(payload, size)
+
+    def provider_released(self) -> None:
+        """Provider-initiated teardown (peer deallocated / facility lost)."""
+        if self.state in (DEALLOCATED, FAILED):
+            return
+        self.state = DEALLOCATED
+        if self.on_deallocated is not None:
+            self.on_deallocated(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Flow {self.port_id!r} {self.local_app}->{self.remote_app} "
+                f"{self.state} via {self.provider_name}>")

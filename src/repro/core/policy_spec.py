@@ -1,0 +1,269 @@
+"""Declarative policy specification (§8).
+
+The paper's ongoing work: "By separating mechanisms from policies [...] we
+can enable users to specify (and the community to contribute) IPC policies
+declaratively within our IPC framework, as we have recently done in [11]
+for transport policies."
+
+This module is that interface for this implementation: a JSON-able dict
+(or a JSON file) fully describes a DIF's policy bundle —
+:func:`policies_from_spec` compiles it into a live
+:class:`~repro.core.dif.DifPolicies`, and :func:`spec_from_policies`
+round-trips one back for inspection.  Changing a facility's behaviour is
+editing data, not writing protocol code.
+
+Example spec::
+
+    {
+      "addressing": {"type": "topological"},
+      "auth": {"type": "challenge-response", "secret": "ops-2008"},
+      "access": {"type": "allow-all"},
+      "scheduler": {"type": "drr", "quantum": 3000},
+      "path_selector": "round-robin",
+      "keepalive": {"interval": 0.2, "dead_factor": 3},
+      "efcp": {"rto_min": 0.005},
+      "efcp_cubes": {"bulk": {"congestion": "aimd"}},
+      "qos_cubes": [
+        {"name": "voice", "max_delay": 0.03, "priority": 0,
+         "loss_tolerance": 0.05}
+      ],
+      "limits": {"max_members": 64},
+      "admission": {"type": "guaranteed-bandwidth",
+                    "capacity_bps": 10000000}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .addressing import AddressingPolicy, FlatAddressing, TopologicalAddressing
+from .auth import (AllowAll, AllowList, AuthPolicy, ChallengeResponse, DenyAll,
+                   FlowAccessPolicy, NoAuth, PresharedKey)
+from .dif import DifPolicies
+from .names import ApplicationName
+from .qos import DEFAULT_CUBES, QosCube
+
+
+class PolicySpecError(ValueError):
+    """Raised when a specification does not compile."""
+
+
+def _build_addressing(spec: Optional[dict]) -> Optional[AddressingPolicy]:
+    if spec is None:
+        return None
+    kind = spec.get("type", "flat")
+    if kind == "flat":
+        return FlatAddressing(start=int(spec.get("start", 1)))
+    if kind == "topological":
+        region = tuple(spec.get("default_region", (0,)))
+        return TopologicalAddressing(default_region=region)
+    raise PolicySpecError(f"unknown addressing policy {kind!r}")
+
+
+def _build_auth(spec: Optional[dict]) -> Optional[AuthPolicy]:
+    if spec is None:
+        return None
+    kind = spec.get("type", "none")
+    if kind == "none":
+        return NoAuth()
+    if kind == "psk":
+        secret = spec.get("secret")
+        if not secret:
+            raise PolicySpecError("psk auth requires a 'secret'")
+        return PresharedKey(secret)
+    if kind == "challenge-response":
+        secret = spec.get("secret")
+        if not secret:
+            raise PolicySpecError("challenge-response auth requires a 'secret'")
+        return ChallengeResponse(secret)
+    raise PolicySpecError(f"unknown auth policy {kind!r}")
+
+
+def _build_access(spec: Optional[dict]) -> Optional[FlowAccessPolicy]:
+    if spec is None:
+        return None
+    kind = spec.get("type", "allow-all")
+    if kind == "allow-all":
+        return AllowAll()
+    if kind == "deny-all":
+        return DenyAll()
+    if kind == "allow-list":
+        sources = spec.get("sources")
+        if not isinstance(sources, list):
+            raise PolicySpecError("allow-list access requires 'sources'")
+        return AllowList([ApplicationName.parse(text) for text in sources])
+    raise PolicySpecError(f"unknown access policy {kind!r}")
+
+
+def _build_cubes(specs: Optional[List[dict]]) -> Optional[Dict[str, QosCube]]:
+    if specs is None:
+        return None
+    cubes = dict(DEFAULT_CUBES)
+    for entry in specs:
+        if "name" not in entry:
+            raise PolicySpecError("every qos cube needs a 'name'")
+        try:
+            cube = QosCube(
+                entry["name"],
+                reliable=bool(entry.get("reliable", False)),
+                in_order=bool(entry.get("in_order",
+                                        entry.get("reliable", False))),
+                max_delay=entry.get("max_delay"),
+                avg_bandwidth=entry.get("avg_bandwidth"),
+                loss_tolerance=float(entry.get("loss_tolerance", 1.0)),
+                priority=int(entry.get("priority", 8)))
+        except ValueError as exc:
+            raise PolicySpecError(f"bad qos cube {entry['name']!r}: {exc}")
+        cubes[cube.name] = cube
+    return cubes
+
+
+_KNOWN_KEYS = {"addressing", "auth", "access", "scheduler", "path_selector",
+               "keepalive", "routing", "efcp", "efcp_cubes", "qos_cubes",
+               "limits", "flooding", "admission", "mgmt", "lower_flow_cube",
+               "pace_ports"}
+
+
+def policies_from_spec(spec: Dict[str, Any]) -> DifPolicies:
+    """Compile a declarative policy spec into a :class:`DifPolicies`."""
+    unknown = set(spec) - _KNOWN_KEYS
+    if unknown:
+        raise PolicySpecError(f"unknown spec sections: {sorted(unknown)}")
+    kwargs: Dict[str, Any] = {}
+
+    addressing = _build_addressing(spec.get("addressing"))
+    if addressing is not None:
+        kwargs["addressing"] = addressing
+    auth = _build_auth(spec.get("auth"))
+    if auth is not None:
+        kwargs["auth"] = auth
+    access = _build_access(spec.get("access"))
+    if access is not None:
+        kwargs["access"] = access
+    cubes = _build_cubes(spec.get("qos_cubes"))
+    if cubes is not None:
+        kwargs["qos_cubes"] = cubes
+
+    scheduler = spec.get("scheduler")
+    if scheduler is not None:
+        if isinstance(scheduler, str):
+            kwargs["scheduler"] = scheduler
+        else:
+            scheduler = dict(scheduler)
+            kwargs["scheduler"] = scheduler.pop("type", "fifo")
+            kwargs["scheduler_kwargs"] = scheduler
+    if "path_selector" in spec:
+        kwargs["path_selector"] = spec["path_selector"]
+
+    keepalive = spec.get("keepalive")
+    if keepalive is not None:
+        if "interval" in keepalive:
+            kwargs["keepalive_interval"] = float(keepalive["interval"])
+        if "dead_factor" in keepalive:
+            kwargs["dead_factor"] = float(keepalive["dead_factor"])
+
+    routing = spec.get("routing")
+    if routing is not None:
+        if "spf_delay" in routing:
+            kwargs["spf_delay"] = float(routing["spf_delay"])
+        if "refresh_interval" in routing:
+            kwargs["refresh_interval"] = routing["refresh_interval"]
+
+    if "efcp" in spec:
+        kwargs["efcp_overrides"] = dict(spec["efcp"])
+    if "efcp_cubes" in spec:
+        kwargs["efcp_cube_overrides"] = {
+            name: dict(overrides)
+            for name, overrides in spec["efcp_cubes"].items()}
+
+    limits = spec.get("limits")
+    if limits is not None:
+        if "max_members" in limits:
+            kwargs["max_members"] = limits["max_members"]
+        if "allocate_retries" in limits:
+            kwargs["allocate_retries"] = int(limits["allocate_retries"])
+
+    flooding = spec.get("flooding")
+    if flooding is not None:
+        if "attempts" in flooding:
+            kwargs["flood_attempts"] = int(flooding["attempts"])
+        if "ack_timeout" in flooding:
+            kwargs["flood_ack_timeout"] = float(flooding["ack_timeout"])
+
+    mgmt = spec.get("mgmt")
+    if mgmt is not None:
+        if "timeout" in mgmt:
+            kwargs["mgmt_timeout"] = float(mgmt["timeout"])
+        if "enroll_attempts" in mgmt:
+            kwargs["enroll_attempts"] = int(mgmt["enroll_attempts"])
+
+    admission = spec.get("admission")
+    if admission is not None:
+        kind = admission.get("type", "none")
+        if kind == "none":
+            kwargs["admission_capacity_bps"] = None
+        elif kind == "guaranteed-bandwidth":
+            capacity = admission.get("capacity_bps")
+            if not capacity or capacity <= 0:
+                raise PolicySpecError(
+                    "guaranteed-bandwidth admission needs 'capacity_bps' > 0")
+            kwargs["admission_capacity_bps"] = float(capacity)
+        else:
+            raise PolicySpecError(f"unknown admission policy {kind!r}")
+
+    if "pace_ports" in spec:
+        kwargs["pace_ports"] = bool(spec["pace_ports"])
+
+    try:
+        return DifPolicies(**kwargs)
+    except Exception as exc:
+        raise PolicySpecError(f"spec does not compile: {exc}")
+
+
+def load_policy_file(path: str) -> DifPolicies:
+    """Compile a JSON policy file."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise PolicySpecError("policy file must contain a JSON object")
+    return policies_from_spec(spec)
+
+
+def spec_from_policies(policies: DifPolicies) -> Dict[str, Any]:
+    """Render a policy bundle back into a JSON-able spec (round-trip aid)."""
+    spec: Dict[str, Any] = {
+        "addressing": {"type": policies.addressing.describe()},
+        "auth": {"type": policies.auth.name},
+        "scheduler": {"type": policies.scheduler,
+                      **policies.scheduler_kwargs},
+        "path_selector": policies.path_selector,
+        "keepalive": {"interval": policies.keepalive_interval,
+                      "dead_factor": policies.dead_factor},
+        "routing": {"spf_delay": policies.spf_delay,
+                    "refresh_interval": policies.refresh_interval},
+        "efcp": dict(policies.efcp_overrides),
+        "efcp_cubes": {name: dict(v)
+                       for name, v in policies.efcp_cube_overrides.items()},
+        "qos_cubes": [
+            {"name": cube.name, "reliable": cube.reliable,
+             "in_order": cube.in_order, "max_delay": cube.max_delay,
+             "avg_bandwidth": cube.avg_bandwidth,
+             "loss_tolerance": cube.loss_tolerance,
+             "priority": cube.priority}
+            for cube in policies.qos_cubes.values()],
+        "limits": {"max_members": policies.max_members,
+                   "allocate_retries": policies.allocate_retries},
+        "flooding": {"attempts": policies.flood_attempts,
+                     "ack_timeout": policies.flood_ack_timeout},
+        "mgmt": {"timeout": policies.mgmt_timeout,
+                 "enroll_attempts": policies.enroll_attempts},
+        "pace_ports": policies.pace_ports,
+    }
+    if policies.admission_capacity_bps is not None:
+        spec["admission"] = {"type": "guaranteed-bandwidth",
+                             "capacity_bps": policies.admission_capacity_bps}
+    else:
+        spec["admission"] = {"type": "none"}
+    return spec

@@ -1,0 +1,123 @@
+"""QoS cubes — the service classes an IPC facility offers.
+
+An application requests a flow by destination name *and desired properties*
+(§3.1).  A :class:`QosCube` bundles those properties; a DIF advertises the
+cubes it supports and the flow allocator maps a request onto EFCP and RMT
+policies (reliable delivery → retransmission control; low latency → priority
+scheduling; etc.).  Resources "could be allocated in many different ways,
+including best-effort, DiffServ or IntServ" — cubes are the policy knob.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class QosCube:
+    """A named region of the QoS space a DIF can allocate within.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the cube within a DIF's offering.
+    reliable:
+        Deliver every SDU (retransmission control on).
+    in_order:
+        Deliver SDUs in the order submitted.
+    max_delay:
+        Target one-way delay bound in seconds (None = no bound).  Used by
+        the utilization experiment to detect QoS violations.
+    avg_bandwidth:
+        Requested average bandwidth in bits/s (None = elastic).
+    loss_tolerance:
+        Acceptable SDU loss fraction for unreliable cubes.
+    priority:
+        RMT scheduling priority; lower number = served first.
+    """
+
+    __slots__ = ("name", "reliable", "in_order", "max_delay", "avg_bandwidth",
+                 "loss_tolerance", "priority")
+
+    def __init__(self, name: str, reliable: bool = False, in_order: bool = False,
+                 max_delay: Optional[float] = None,
+                 avg_bandwidth: Optional[float] = None,
+                 loss_tolerance: float = 1.0, priority: int = 8) -> None:
+        if reliable and loss_tolerance != 0.0:
+            loss_tolerance = 0.0
+        if not 0.0 <= loss_tolerance <= 1.0:
+            raise ValueError(f"loss tolerance must be in [0,1], got {loss_tolerance}")
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        self.name = name
+        self.reliable = reliable
+        self.in_order = in_order
+        self.max_delay = max_delay
+        self.avg_bandwidth = avg_bandwidth
+        self.loss_tolerance = loss_tolerance
+        self.priority = priority
+
+    def compatible_with(self, other: "QosCube") -> bool:
+        """True when ``other`` (an offered cube) satisfies this request."""
+        if self.reliable and not other.reliable:
+            return False
+        if self.in_order and not other.in_order:
+            return False
+        if self.max_delay is not None:
+            if other.max_delay is None or other.max_delay > self.max_delay:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, QosCube) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("qos", self.name))
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.reliable:
+            flags.append("reliable")
+        if self.in_order:
+            flags.append("ordered")
+        if self.max_delay is not None:
+            flags.append(f"delay<={self.max_delay * 1000:.0f}ms")
+        return f"QosCube({self.name}{': ' if flags else ''}{', '.join(flags)})"
+
+
+#: Unreliable, unordered delivery — the degenerate "current Internet" cube.
+BEST_EFFORT = QosCube("best-effort")
+
+#: Reliable in-order delivery — what TCP provides, here one cube among many.
+RELIABLE = QosCube("reliable", reliable=True, in_order=True)
+
+#: Unreliable but urgent — served first by priority schedulers.
+LOW_LATENCY = QosCube("low-latency", max_delay=0.05, loss_tolerance=0.05,
+                      priority=0)
+
+#: Reliable bulk transfer at background priority.
+BULK = QosCube("bulk", reliable=True, in_order=True, priority=15)
+
+#: Cubes every DIF offers unless configured otherwise.
+DEFAULT_CUBES: Dict[str, QosCube] = {
+    cube.name: cube for cube in (BEST_EFFORT, RELIABLE, LOW_LATENCY, BULK)
+}
+
+
+def resolve_cube(requested: Optional[QosCube],
+                 offered: Dict[str, QosCube]) -> QosCube:
+    """Pick the offered cube satisfying ``requested`` (None → best-effort).
+
+    Exact name match wins; otherwise the first compatible cube in priority
+    order.  Raises ``LookupError`` when nothing fits — the flow allocator
+    converts that into an allocation failure, as §3.1 requires when desired
+    properties cannot be met.
+    """
+    if requested is None:
+        requested = BEST_EFFORT
+    exact = offered.get(requested.name)
+    if exact is not None:
+        return exact
+    for cube in sorted(offered.values(), key=lambda c: c.priority):
+        if requested.compatible_with(cube):
+            return cube
+    raise LookupError(f"no offered QoS cube satisfies {requested!r}")

@@ -1,0 +1,175 @@
+"""RIEP — the Resource Information Exchange Protocol.
+
+The paper (§3.1) requires "a protocol for managing distributed IPC (routing,
+security and other management tasks)" that populates the RIB.  RIEP here is
+a CDAP-style object protocol: six operations on named RIB objects plus a
+connect/authenticate exchange used by enrollment.  Every management
+conversation in the architecture — enrollment, directory dissemination,
+link-state flooding, flow allocation — is a sequence of RIEP messages, so
+the wire vocabulary of the whole management plane lives in this module.
+
+:class:`RiepMessage` is the unit carried by a
+:class:`~repro.core.pdu.ManagementPdu`.  :class:`InvokeTable` provides
+request/response matching with timeouts for the handful of RPC-like
+exchanges (enrollment, flow allocation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from ..sim.engine import Engine, Timer
+
+# Operation codes (the CDAP verbs the paper's reference model uses).
+M_CONNECT = "M_CONNECT"      # start an application/management connection
+M_CONNECT_R = "M_CONNECT_R"  # response (carries auth result)
+M_RELEASE = "M_RELEASE"      # end a management connection
+M_CREATE = "M_CREATE"        # create a RIB object at the peer
+M_CREATE_R = "M_CREATE_R"
+M_DELETE = "M_DELETE"
+M_DELETE_R = "M_DELETE_R"
+M_READ = "M_READ"
+M_READ_R = "M_READ_R"
+M_WRITE = "M_WRITE"
+M_WRITE_R = "M_WRITE_R"
+M_START = "M_START"          # start a task/flow at the peer
+M_START_R = "M_START_R"
+M_STOP = "M_STOP"
+M_STOP_R = "M_STOP_R"
+
+RESULT_OK = 0
+RESULT_ERROR = 1
+RESULT_DENIED = 2
+RESULT_NOT_FOUND = 3
+
+_RESPONSES = {
+    M_CONNECT: M_CONNECT_R, M_CREATE: M_CREATE_R, M_DELETE: M_DELETE_R,
+    M_READ: M_READ_R, M_WRITE: M_WRITE_R, M_START: M_START_R, M_STOP: M_STOP_R,
+}
+
+
+def response_opcode(opcode: str) -> str:
+    """The reply opcode paired with a request opcode."""
+    try:
+        return _RESPONSES[opcode]
+    except KeyError:
+        raise ValueError(f"{opcode} has no response form")
+
+
+class RiepMessage:
+    """One RIEP message.
+
+    Attributes
+    ----------
+    opcode:
+        One of the ``M_*`` constants.
+    obj:
+        RIB object path the operation applies to (e.g. ``/routing/lsa/3``).
+    value:
+        Payload for the operation (dict/str/numbers; kept JSON-like).
+    invoke_id:
+        Correlates a response with its request; 0 = unsolicited.
+    result:
+        ``RESULT_*`` code, meaningful on ``*_R`` messages.
+    """
+
+    __slots__ = ("opcode", "obj", "value", "invoke_id", "result")
+
+    def __init__(self, opcode: str, obj: str = "", value: Any = None,
+                 invoke_id: int = 0, result: int = RESULT_OK) -> None:
+        self.opcode = opcode
+        self.obj = obj
+        self.value = value
+        self.invoke_id = invoke_id
+        self.result = result
+
+    def reply(self, value: Any = None, result: int = RESULT_OK) -> "RiepMessage":
+        """Build the response message for this request."""
+        return RiepMessage(response_opcode(self.opcode), obj=self.obj,
+                           value=value, invoke_id=self.invoke_id, result=result)
+
+    def estimate_size(self) -> int:
+        """Approximate encoded size in bytes (for link serialization)."""
+        body = len(self.opcode) + len(self.obj) + 12
+        if self.value is not None:
+            body += _estimate_value_size(self.value)
+        return body
+
+    @property
+    def ok(self) -> bool:
+        """True for successful responses."""
+        return self.result == RESULT_OK
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RIEP {self.opcode} {self.obj} id={self.invoke_id} r={self.result}>"
+
+
+def _estimate_value_size(value: Any) -> int:
+    """Rough, deterministic encoded-size estimate for JSON-like values."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 2 + sum(_estimate_value_size(v) for v in value)
+    if isinstance(value, dict):
+        return 2 + sum(_estimate_value_size(k) + _estimate_value_size(v)
+                       for k, v in value.items())
+    # arbitrary objects: charge a flat record
+    return 32
+
+
+ResponseHandler = Callable[[Optional[RiepMessage]], None]
+
+
+class InvokeTable:
+    """Pending-request table: allocates invoke-ids, matches responses,
+    and times out requests (handler receives ``None`` on timeout)."""
+
+    def __init__(self, engine: Engine, default_timeout: float = 5.0) -> None:
+        self._engine = engine
+        self._default_timeout = default_timeout
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, tuple] = {}
+
+    def new_request(self, message: RiepMessage, handler: ResponseHandler,
+                    timeout: Optional[float] = None) -> RiepMessage:
+        """Assign an invoke-id to ``message`` and register ``handler``."""
+        invoke_id = next(self._ids)
+        message.invoke_id = invoke_id
+        delay = self._default_timeout if timeout is None else timeout
+        timer = Timer(self._engine, lambda: self._timeout(invoke_id),
+                      label=f"riep.invoke.{invoke_id}")
+        timer.start(delay)
+        self._pending[invoke_id] = (handler, timer)
+        return message
+
+    def dispatch_response(self, message: RiepMessage) -> bool:
+        """Route a ``*_R`` message to its waiting handler; False if stale."""
+        entry = self._pending.pop(message.invoke_id, None)
+        if entry is None:
+            return False
+        handler, timer = entry
+        timer.cancel()
+        handler(message)
+        return True
+
+    def pending_count(self) -> int:
+        """Number of requests still awaiting a response."""
+        return len(self._pending)
+
+    def _timeout(self, invoke_id: int) -> None:
+        entry = self._pending.pop(invoke_id, None)
+        if entry is None:
+            return
+        handler, _timer = entry
+        handler(None)

@@ -1,0 +1,267 @@
+"""Routing within a DIF (§5.3, Fig 4).
+
+Routing is a management task of the DIF, run *over the graph of its member
+IPC processes*: each member floods a link-state advertisement (LSA) listing
+its adjacencies (the neighbors it holds (N-1) flows to), every member keeps
+the resulting link-state database, and shortest-path next hops feed the
+RMT's forwarding function.
+
+Crucially — and this is the paper's two-step model — routing only decides
+the **next-hop node address** (step one).  Which (N-1) flow / point of
+attachment carries the PDU to that next hop is the RMT path-selection
+policy's business (step two).  Multihoming and mobility fall out of keeping
+those steps distinct.
+
+LSAs travel as hop-scoped RIEP ``M_WRITE`` messages on the object
+``/routing/lsa`` and are re-flooded with sequence-number dedup, so the
+**scope of a routing update is bounded by the DIF's scope** — the property
+experiments E5/E6 quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.engine import Engine, Timer
+from .addressing import aggregate_forwarding_table
+from .names import Address
+from .riep import M_WRITE, RiepMessage
+
+LSA_OBJ = "/routing/lsa"
+
+#: Tie-break: neighbor cost used when none is specified.
+DEFAULT_COST = 1.0
+
+
+class Lsa:
+    """One origin's view of its adjacencies."""
+
+    __slots__ = ("origin", "seq", "neighbors")
+
+    def __init__(self, origin: Address, seq: int,
+                 neighbors: Dict[Address, float]) -> None:
+        self.origin = origin
+        self.seq = seq
+        self.neighbors = dict(neighbors)
+
+    def to_value(self) -> dict:
+        """JSON-like encoding carried in the RIEP message."""
+        return {
+            "origin": self.origin.parts,
+            "seq": self.seq,
+            "neighbors": [(addr.parts, cost)
+                          for addr, cost in sorted(self.neighbors.items())],
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "Lsa":
+        """Decode the RIEP payload."""
+        origin = Address(*value["origin"])
+        neighbors = {Address(*parts): float(cost)
+                     for parts, cost in value["neighbors"]}
+        return cls(origin, int(value["seq"]), neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Lsa {self.origin} seq={self.seq} nbrs={len(self.neighbors)}>"
+
+
+class LinkStateRouting:
+    """The routing task of one IPC process.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine for the SPF hold-down timer.
+    local_addr_fn:
+        Returns this IPCP's current address (None before enrollment).
+    flood_fn:
+        ``flood_fn(message, exclude_neighbor)`` sends a hop-scoped RIEP
+        message to every adjacent member except ``exclude_neighbor``.
+    on_table_change:
+        Invoked after each SPF run with the new next-hop table.
+    spf_delay:
+        Hold-down between an LSDB change and the SPF run (batches floods).
+    """
+
+    def __init__(self, engine: Engine,
+                 local_addr_fn: Callable[[], Optional[Address]],
+                 flood_fn: Callable[[RiepMessage, Optional[Address]], int],
+                 on_table_change: Optional[Callable[[Dict[Address, Address]], None]] = None,
+                 spf_delay: float = 0.02) -> None:
+        self._engine = engine
+        self._local_addr_fn = local_addr_fn
+        self._flood = flood_fn
+        self._on_table_change = on_table_change
+        self._spf_delay = spf_delay
+        self._lsdb: Dict[Address, Lsa] = {}
+        self._own_seq = 0
+        self._adjacencies: Dict[Address, float] = {}
+        self._next_hop: Dict[Address, Address] = {}
+        self._spf_timer = Timer(engine, self._run_spf, label="routing.spf")
+        # counters for the scalability/mobility experiments
+        self.lsas_originated = 0
+        self.lsas_received = 0
+        self.lsas_refloded = 0
+        self.spf_runs = 0
+
+    # ------------------------------------------------------------------
+    # Adjacency management (called by the IPCP's neighbor monitoring)
+    # ------------------------------------------------------------------
+    def neighbor_up(self, neighbor: Address, cost: float = DEFAULT_COST) -> None:
+        """Record a new usable adjacency and advertise it."""
+        if self._adjacencies.get(neighbor) == cost:
+            return
+        self._adjacencies[neighbor] = cost
+        self._originate()
+
+    def neighbor_down(self, neighbor: Address) -> None:
+        """Withdraw an adjacency (flow lost or member departed)."""
+        if neighbor not in self._adjacencies:
+            return
+        del self._adjacencies[neighbor]
+        self._originate()
+
+    def adjacencies(self) -> Dict[Address, float]:
+        """Current local adjacency set (copy)."""
+        return dict(self._adjacencies)
+
+    def _originate(self) -> None:
+        local = self._local_addr_fn()
+        if local is None:
+            return
+        self._own_seq += 1
+        lsa = Lsa(local, self._own_seq, self._adjacencies)
+        self._lsdb[local] = lsa
+        self.lsas_originated += 1
+        message = RiepMessage(M_WRITE, obj=LSA_OBJ, value=lsa.to_value())
+        self._flood(message, None)
+        self._schedule_spf()
+
+    def refresh(self) -> None:
+        """Anti-entropy re-origination (same adjacencies, bumped seq)."""
+        if self._adjacencies or self._own_seq:
+            self._originate()
+
+    # ------------------------------------------------------------------
+    # Flooding
+    # ------------------------------------------------------------------
+    def handle_lsa(self, message: RiepMessage, from_neighbor: Address) -> None:
+        """Process a received ``M_WRITE /routing/lsa`` message."""
+        lsa = Lsa.from_value(message.value)
+        self.lsas_received += 1
+        current = self._lsdb.get(lsa.origin)
+        if current is not None and current.seq >= lsa.seq:
+            return  # stale or duplicate: flooding stops here
+        self._lsdb[lsa.origin] = lsa
+        self.lsas_refloded += 1
+        self._flood(message, from_neighbor)
+        self._schedule_spf()
+
+    def sync_lsdb(self) -> List[dict]:
+        """Snapshot of the LSDB for bulk transfer to a newly enrolled member."""
+        return [lsa.to_value() for _origin, lsa in sorted(self._lsdb.items())]
+
+    def load_lsdb(self, values: Sequence[dict]) -> None:
+        """Install a bulk LSDB snapshot (enrollment fast-sync)."""
+        changed = False
+        for value in values:
+            lsa = Lsa.from_value(value)
+            current = self._lsdb.get(lsa.origin)
+            if current is None or current.seq < lsa.seq:
+                self._lsdb[lsa.origin] = lsa
+                changed = True
+        if changed:
+            self._schedule_spf()
+
+    # ------------------------------------------------------------------
+    # Shortest paths
+    # ------------------------------------------------------------------
+    def _schedule_spf(self) -> None:
+        if not self._spf_timer.running:
+            self._spf_timer.start(self._spf_delay)
+
+    def _run_spf(self) -> None:
+        local = self._local_addr_fn()
+        if local is None:
+            return
+        self.spf_runs += 1
+        graph = self._two_way_graph()
+        self._next_hop = self._dijkstra(local, graph)
+        if self._on_table_change is not None:
+            self._on_table_change(dict(self._next_hop))
+
+    def _two_way_graph(self) -> Dict[Address, Dict[Address, float]]:
+        """Edges confirmed by both endpoints' LSAs (standard two-way check).
+
+        The local node's live adjacency set overrides its stored LSA so a
+        just-changed neighbor is usable before the LSA round-trips.
+        """
+        local = self._local_addr_fn()
+        claims: Dict[Address, Dict[Address, float]] = {
+            origin: dict(lsa.neighbors) for origin, lsa in self._lsdb.items()}
+        if local is not None:
+            claims[local] = dict(self._adjacencies)
+        graph: Dict[Address, Dict[Address, float]] = {}
+        for a, neighbors in claims.items():
+            for b, cost in neighbors.items():
+                back = claims.get(b, {})
+                if a in back:
+                    graph.setdefault(a, {})[b] = max(cost, back[a])
+        return graph
+
+    def _dijkstra(self, source: Address,
+                  graph: Dict[Address, Dict[Address, float]]) -> Dict[Address, Address]:
+        import heapq
+        dist: Dict[Address, float] = {source: 0.0}
+        first_hop: Dict[Address, Optional[Address]] = {source: None}
+        heap: List[Tuple[float, Tuple[int, ...], Address]] = [
+            (0.0, source.parts, source)]
+        visited: Set[Address] = set()
+        while heap:
+            d, _tie, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor, cost in graph.get(node, {}).items():
+                nd = d + cost
+                if neighbor not in dist or nd < dist[neighbor] - 1e-12:
+                    dist[neighbor] = nd
+                    first_hop[neighbor] = neighbor if node == source else first_hop[node]
+                    heapq.heappush(heap, (nd, neighbor.parts, neighbor))
+        table = {}
+        for dst, hop in first_hop.items():
+            if dst != source and hop is not None:
+                table[dst] = hop
+        return table
+
+    # ------------------------------------------------------------------
+    # Introspection / metrics
+    # ------------------------------------------------------------------
+    def next_hop(self, destination: Address) -> Optional[Address]:
+        """Step one of two-step routing: destination → next-hop address."""
+        return self._next_hop.get(destination)
+
+    def table(self) -> Dict[Address, Address]:
+        """The full next-hop table (copy)."""
+        return dict(self._next_hop)
+
+    def table_size(self) -> int:
+        """Number of destination entries — the E6/A1 metric."""
+        return len(self._next_hop)
+
+    def aggregated_table_size(self) -> int:
+        """Entries after topological prefix aggregation (A1 metric)."""
+        return len(aggregate_forwarding_table(self._next_hop))
+
+    def reachable(self) -> Set[Address]:
+        """Destinations the current table can reach."""
+        return set(self._next_hop)
+
+    def lsdb_size(self) -> int:
+        """Number of LSAs held."""
+        return len(self._lsdb)
+
+    def force_spf(self) -> None:
+        """Run SPF immediately (tests and convergence measurements)."""
+        self._spf_timer.cancel()
+        self._run_spf()

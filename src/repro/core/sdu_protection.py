@@ -1,0 +1,69 @@
+"""SDU protection: integrity and lifetime checks at the DIF boundary.
+
+When an SDU crosses into a DIF it can be wrapped with a CRC and a hop
+budget; on exit the wrapper is checked and stripped.  The simulator's links
+drop rather than corrupt frames, so the CRC path is exercised by tests and
+by fault-injection experiments that flip bytes deliberately.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Tuple
+
+#: Wrapper overhead: CRC32 (4 bytes) + lifetime (1 byte).
+PROTECTION_OVERHEAD_BYTES = 5
+
+
+class SduProtectionError(ValueError):
+    """Raised when an SDU fails its integrity or lifetime check."""
+
+
+class SduProtection:
+    """CRC32 + hop-budget protection policy.
+
+    ``max_hops`` bounds how many times :meth:`decrement_hops` may be applied
+    before the SDU is declared expired — the degenerate "TTL" mechanism.
+    """
+
+    def __init__(self, max_hops: int = 64, use_crc: bool = True) -> None:
+        if not 1 <= max_hops <= 255:
+            raise ValueError("max_hops must be in [1, 255]")
+        self.max_hops = max_hops
+        self.use_crc = use_crc
+
+    def protect(self, data: bytes) -> bytes:
+        """Wrap ``data`` with lifetime byte and CRC32 trailer."""
+        hops = self.max_hops.to_bytes(1, "big")
+        body = hops + data
+        if self.use_crc:
+            crc = zlib.crc32(body).to_bytes(4, "big")
+        else:
+            crc = b"\x00\x00\x00\x00"
+        return body + crc
+
+    def unprotect(self, wrapped: bytes) -> bytes:
+        """Verify and strip the wrapper; raises :class:`SduProtectionError`."""
+        if len(wrapped) < PROTECTION_OVERHEAD_BYTES:
+            raise SduProtectionError("SDU shorter than protection overhead")
+        body, crc = wrapped[:-4], wrapped[-4:]
+        if self.use_crc and zlib.crc32(body).to_bytes(4, "big") != crc:
+            raise SduProtectionError("CRC mismatch: SDU corrupted")
+        hops = body[0]
+        if hops == 0:
+            raise SduProtectionError("SDU lifetime exhausted")
+        return body[1:]
+
+    def decrement_hops(self, wrapped: bytes) -> bytes:
+        """Charge one hop against the SDU's lifetime, re-sealing the CRC."""
+        if len(wrapped) < PROTECTION_OVERHEAD_BYTES:
+            raise SduProtectionError("SDU shorter than protection overhead")
+        hops = wrapped[0]
+        if hops == 0:
+            raise SduProtectionError("SDU lifetime exhausted")
+        body = bytes([hops - 1]) + wrapped[1:-4]
+        if self.use_crc:
+            crc = zlib.crc32(body).to_bytes(4, "big")
+        else:
+            crc = wrapped[-4:]
+        return body + crc

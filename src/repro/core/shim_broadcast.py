@@ -1,0 +1,183 @@
+"""Multi-access shim: a rank-0 DIF over a shared broadcast medium.
+
+Where the point-to-point shim has exactly two members, a wireless cell or
+LAN segment has many.  This shim gives every attached system the same
+flow-provider interface (`register_app` / `allocate_flow`) over a
+:class:`~repro.sim.broadcast.BroadcastMedium`:
+
+* flow allocation broadcasts a WHO-HAS request naming the destination
+  application; the endpoint where it is registered answers, and the two
+  endpoints exchange unicast-addressed frames thereafter (the shim's
+  "addresses" are medium attachment indexes — private to this rank-0
+  facility, invisible above, exactly as §3.2 requires of any DIF);
+* every frame carries (src endpoint, dst endpoint); others ignore it —
+  the degenerate relaying of a single-segment facility.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..sim.broadcast import BroadcastEndpoint
+from ..sim.engine import Engine
+from .flow import Flow
+from .names import ApplicationName, DifName, PortId
+from .qos import BEST_EFFORT, QosCube
+
+#: broadcast-shim framing overhead (src/dst endpoint, flow id, kind, length)
+BSHIM_HEADER_BYTES = 10
+
+_BCAST = -1
+_KIND_WHOHAS = "who-has"
+_KIND_OFFER = "offer"
+_KIND_DATA = "data"
+_KIND_DEALLOC = "dealloc"
+
+InboundListener = Callable[[Flow], None]
+
+
+class BroadcastShimIpcp:
+    """One system's member of a multi-access shim DIF."""
+
+    ALLOC_ATTEMPTS = 5
+    ALLOC_TIMEOUT = 0.5
+
+    def __init__(self, engine: Engine, dif_name: DifName, system_name: str,
+                 endpoint: BroadcastEndpoint,
+                 port_ids: Optional[itertools.count] = None) -> None:
+        self._engine = engine
+        self.dif_name = dif_name
+        self.system_name = system_name
+        self._endpoint = endpoint
+        endpoint.attach(self._on_frame)
+        self._port_ids = port_ids if port_ids is not None else itertools.count(1)
+        self._flow_seq = itertools.count(1)
+        self._registered: Dict[ApplicationName, InboundListener] = {}
+        # flow key = (initiator endpoint, flow seq); unique medium-wide
+        self._flows: Dict[Tuple[int, int], Tuple[Flow, int]] = {}  # -> (flow, peer endpoint)
+        self._pending: Dict[Tuple[int, int], Flow] = {}
+
+    # ------------------------------------------------------------------
+    # FlowProvider interface
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> DifName:
+        """The shim DIF's name."""
+        return self.dif_name
+
+    @property
+    def medium_capacity_bps(self) -> float:
+        """Raw capacity of the shared channel."""
+        return self._endpoint._medium.capacity_bps
+
+    def register_app(self, app: ApplicationName,
+                     listener: InboundListener) -> None:
+        """Expose ``app`` to WHO-HAS requests on the medium."""
+        self._registered[app] = listener
+
+    def unregister_app(self, app: ApplicationName) -> None:
+        """Remove a registration."""
+        self._registered.pop(app, None)
+
+    def allocate_flow(self, src_app: ApplicationName, dst_app: ApplicationName,
+                      qos: Optional[QosCube] = None) -> Flow:
+        """Find ``dst_app`` somewhere on the segment and open a flow to it."""
+        key = (self._endpoint.index, next(self._flow_seq))
+        flow = Flow(PortId(next(self._port_ids)), src_app, dst_app,
+                    qos or BEST_EFFORT, self.dif_name)
+        self._pending[key] = flow
+        self._alloc_attempt(key, str(src_app), str(dst_app),
+                            self.ALLOC_ATTEMPTS)
+        return flow
+
+    def _alloc_attempt(self, key: Tuple[int, int], src_text: str,
+                       dst_text: str, attempts_left: int) -> None:
+        flow = self._pending.get(key)
+        if flow is None:
+            return
+        if attempts_left <= 0:
+            self._pending.pop(key, None)
+            flow.provider_failed("no-such-app")
+            return
+        self._send(_BCAST, _KIND_WHOHAS, key, (src_text, dst_text), 16)
+        self._engine.call_later(self.ALLOC_TIMEOUT, self._alloc_attempt, key,
+                                src_text, dst_text, attempts_left - 1,
+                                label="bshim.alloc-retry")
+
+    # ------------------------------------------------------------------
+    # Wire
+    # ------------------------------------------------------------------
+    def _send(self, dst: int, kind: str, key: Tuple[int, int], payload: Any,
+              size: int) -> bool:
+        frame = (self._endpoint.index, dst, kind, key, payload, size)
+        return self._endpoint.send(frame, BSHIM_HEADER_BYTES + size)
+
+    def _bind(self, key: Tuple[int, int], flow: Flow, peer: int) -> None:
+        self._flows[key] = (flow, peer)
+        flow.provider_bind(
+            send_fn=lambda payload, size, k=key: self._send_data(k, payload,
+                                                                 size),
+            dealloc_fn=lambda k=key: self._deallocate(k),
+            nominal_bps=self.medium_capacity_bps)
+
+    def _send_data(self, key: Tuple[int, int], payload: Any,
+                   size: int) -> bool:
+        entry = self._flows.get(key)
+        if entry is None:
+            return False
+        _flow, peer = entry
+        return self._send(peer, _KIND_DATA, key, payload, size)
+
+    def _deallocate(self, key: Tuple[int, int]) -> None:
+        entry = self._flows.pop(key, None)
+        self._pending.pop(key, None)
+        if entry is not None:
+            self._send(entry[1], _KIND_DEALLOC, key, None, 0)
+
+    def _on_frame(self, frame: Any, frame_size: int) -> None:
+        src, dst, kind, key, payload, size = frame
+        if dst not in (_BCAST, self._endpoint.index):
+            return  # not for us: the degenerate relaying decision
+        if kind == _KIND_WHOHAS:
+            self._on_whohas(src, key, payload)
+        elif kind == _KIND_OFFER:
+            self._on_offer(src, key)
+        elif kind == _KIND_DATA:
+            entry = self._flows.get(key)
+            if entry is not None:
+                entry[0].provider_deliver(payload, size)
+        elif kind == _KIND_DEALLOC:
+            entry = self._flows.pop(key, None)
+            if entry is not None:
+                entry[0].provider_released()
+
+    def _on_whohas(self, src: int, key: Tuple[int, int],
+                   payload: Tuple[str, str]) -> None:
+        src_text, dst_text = payload
+        dst_app = ApplicationName.parse(dst_text)
+        listener = self._registered.get(dst_app)
+        if listener is None:
+            return  # silence; the requester retries then gives up
+        if key in self._flows:
+            # duplicate WHO-HAS (our offer was lost): re-offer
+            self._send(src, _KIND_OFFER, key, None, 0)
+            return
+        flow = Flow(PortId(next(self._port_ids)), dst_app,
+                    ApplicationName.parse(src_text), BEST_EFFORT,
+                    self.dif_name)
+        self._bind(key, flow, src)
+        self._send(src, _KIND_OFFER, key, None, 0)
+        flow.provider_allocated()
+        listener(flow)
+
+    def _on_offer(self, src: int, key: Tuple[int, int]) -> None:
+        flow = self._pending.pop(key, None)
+        if flow is None:
+            return
+        self._bind(key, flow, src)
+        flow.provider_allocated()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BroadcastShimIpcp {self.dif_name} on {self.system_name} "
+                f"flows={len(self._flows)}>")

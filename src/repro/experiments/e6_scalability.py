@@ -1,0 +1,259 @@
+"""E6 — §6.5: "this repeating structure scales indefinitely".
+
+The claim: because each DIF has private internal addresses and management
+policies that bound its membership, per-system routing state and the scope
+of routing updates stay bounded as the internet grows — versus one global
+layer where both grow with the whole network.
+
+Setup: ``k`` regions of ``m`` systems each (a star around a regional
+border router), all borders joined by a backbone ring-of-star around a
+core.  Two configurations over identical physical plants:
+
+* **flat** — one DIF containing every system: table size per member is
+  O(n); a single link flap floods LSAs to all n members.
+* **recursive** — one DIF per region (m+1 members), one backbone DIF
+  (k+1 members), and a host-to-host DIF only for the systems that
+  actually talk end to end (Fig 3's "3rd-level host-to-host DIF").  A
+  host's state is O(m); a border's is O(m + k); a link flap floods only
+  within its region.
+
+Measured per configuration: mean/max routing-table entries per system,
+total RIB-ish state, and the number of systems that receive at least one
+routing update when one access link flaps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..apps.echo import EchoClient, EchoServer
+from ..core import (Dif, DifPolicies, Orchestrator, add_shims, build_dif_over,
+                    make_systems, run_until, shim_between)
+from ..sim.network import Network
+
+
+def _region_names(region: int, hosts: int) -> Tuple[str, List[str]]:
+    border = f"border{region}"
+    return border, [f"h{region}_{i}" for i in range(hosts)]
+
+
+def build_physical(regions: int, hosts_per_region: int, seed: int = 1) -> Network:
+    """k regional stars joined by a core node."""
+    network = Network(seed=seed)
+    network.add_node("core")
+    for region in range(regions):
+        border, hosts = _region_names(region, hosts_per_region)
+        network.add_node(border)
+        network.connect(border, "core", delay=0.002)
+        for host in hosts:
+            network.add_node(host)
+            network.connect(host, border, delay=0.001)
+    return network
+
+
+def _policies() -> DifPolicies:
+    return DifPolicies(keepalive_interval=0.5, dead_factor=4, spf_delay=0.02,
+                       refresh_interval=None)
+
+
+def build_flat(regions: int, hosts_per_region: int, seed: int = 1):
+    """One DIF over everything."""
+    network = build_physical(regions, hosts_per_region, seed)
+    systems = make_systems(network)
+    add_shims(systems, network)
+    dif = Dif("flat", _policies())
+    adjacencies = []
+    for region in range(regions):
+        border, hosts = _region_names(region, hosts_per_region)
+        adjacencies.append((border, "core", shim_between(network, border, "core")))
+        for host in hosts:
+            adjacencies.append((host, border, shim_between(network, host, border)))
+    orchestrator = Orchestrator(network)
+    build_dif_over(orchestrator, dif, systems, adjacencies=adjacencies,
+                   bootstrap="core", settle=1.0)
+    orchestrator.run(timeout=600)
+    return network, systems, {"flat": dif}
+
+
+def build_recursive(regions: int, hosts_per_region: int, seed: int = 1,
+                    talkers: int = 2):
+    """Region DIFs + backbone DIF + a host-to-host DIF for the talkers."""
+    network = build_physical(regions, hosts_per_region, seed)
+    systems = make_systems(network)
+    add_shims(systems, network)
+    orchestrator = Orchestrator(network)
+    difs: Dict[str, Dif] = {}
+
+    for region in range(regions):
+        border, hosts = _region_names(region, hosts_per_region)
+        dif = Dif(f"region{region}", _policies())
+        difs[str(dif.name)] = dif
+        adjacencies = [(host, border, shim_between(network, host, border))
+                       for host in hosts]
+        build_dif_over(orchestrator, dif, systems, adjacencies=adjacencies,
+                       bootstrap=border, settle=0.3)
+
+    backbone = Dif("backbone", _policies())
+    difs["backbone"] = backbone
+    adjacencies = [(f"border{region}", "core",
+                    shim_between(network, f"border{region}", "core"))
+                   for region in range(regions)]
+    build_dif_over(orchestrator, backbone, systems, adjacencies=adjacencies,
+                   bootstrap="core", settle=0.3)
+
+    # the host-to-host DIF: first host of region 0 talks to first host of
+    # the last region, through their borders (adjacencies ride the region
+    # DIFs and the backbone)
+    top = Dif("h2h", _policies())
+    difs["h2h"] = top
+    src = f"h0_0"
+    dst = f"h{regions - 1}_0"
+    build_dif_over(orchestrator, top, systems, adjacencies=[
+        (src, "border0", "region0"),
+        ("border0", f"border{regions - 1}", "backbone"),
+        (f"border{regions - 1}", dst, f"region{regions - 1}")],
+        bootstrap="border0", settle=0.3)
+    orchestrator.run(timeout=600)
+    return network, systems, difs
+
+
+def _state_stats(systems, difs: Dict[str, Dif]) -> Dict[str, float]:
+    per_system: Dict[str, int] = {}
+    for dif in difs.values():
+        for ipcp in dif.members().values():
+            per_system[ipcp.system_name] = (
+                per_system.get(ipcp.system_name, 0) + ipcp.routing.table_size())
+    sizes = list(per_system.values())
+    return {
+        "mean_table": sum(sizes) / len(sizes),
+        "max_table": max(sizes),
+        "total_state": sum(sizes),
+    }
+
+
+def _flap_scope(network: Network, systems, difs: Dict[str, Dif],
+                link_name: str) -> int:
+    """Fail+repair one access link; count systems receiving an update."""
+    before = {}
+    for dif in difs.values():
+        for ipcp in dif.members().values():
+            before[(str(dif.name), ipcp.system_name)] = ipcp.routing.lsas_received
+    link = network.links[link_name]
+    link.fail()
+    network.run(until=network.engine.now + 4.0)
+    link.repair()
+    network.run(until=network.engine.now + 4.0)
+    touched = set()
+    for dif in difs.values():
+        for ipcp in dif.members().values():
+            key = (str(dif.name), ipcp.system_name)
+            if ipcp.routing.lsas_received > before.get(key, 0):
+                touched.add(ipcp.system_name)
+    return len(touched)
+
+
+def run_ip_rip(regions: int, hosts_per_region: int,
+               seed: int = 1, update_interval: float = 1.0) -> Dict[str, Any]:
+    """The baseline row: one global distance-vector IGP (RIP-style).
+
+    The flat-IP world's analogue of the flat DIF: every router carries a
+    route per subnet, periodic full-table updates flow everywhere, and a
+    link flap eventually touches every table.
+    """
+    from ..baselines import IpFabric
+    from ..baselines.rip import run_rip_network
+    network = build_physical(regions, hosts_per_region, seed)
+    routers = ["core"] + [f"border{r}" for r in range(regions)]
+    fabric = IpFabric(network, routers=routers)
+    for host in fabric.hosts.values():
+        host.ip.clear_routes()
+    daemons = run_rip_network(fabric, update_interval=update_interval)
+    network.run(until=10 * update_interval)
+    sizes = [daemon.table_size() for daemon in daemons.values()]
+    updates_before = sum(d.updates_sent for d in daemons.values())
+    window = 5 * update_interval
+    start = network.engine.now
+    # steady-state update cost over a window
+    network.run(until=start + window)
+    updates_rate = (sum(d.updates_sent for d in daemons.values())
+                    - updates_before) / window
+    # flap scope: whose table changes after an access link flaps
+    def snapshot():
+        return {name: {key: (r.metric, r.next_hop)
+                       for key, r in d._routes.items()}
+                for name, d in daemons.items()}
+    before = snapshot()
+    link = network.link_between("h0_1", "border0")
+    link.fail()
+    network.run(until=network.engine.now + 8 * update_interval)
+    during = snapshot()   # the failure's footprint across tables
+    link.repair()
+    network.run(until=network.engine.now + 8 * update_interval)
+    touched = sum(1 for name in daemons if before[name] != during[name])
+    n = 1 + regions * (1 + hosts_per_region)
+    return {
+        "config": "ip+rip",
+        "systems": n,
+        "regions": regions,
+        "mean_table": round(sum(sizes) / len(sizes), 2),
+        "max_table": max(sizes),
+        "total_state": sum(sizes),
+        "flap_update_scope": touched,
+        "updates_per_s": round(updates_rate, 1),
+    }
+
+
+def run_config(config: str, regions: int, hosts_per_region: int,
+               seed: int = 1) -> Dict[str, Any]:
+    """One row of the E6 table."""
+    if config == "flat":
+        network, systems, difs = build_flat(regions, hosts_per_region, seed)
+    elif config == "recursive":
+        network, systems, difs = build_recursive(regions, hosts_per_region, seed)
+    elif config == "ip+rip":
+        return run_ip_rip(regions, hosts_per_region, seed)
+    else:
+        raise ValueError(f"unknown config {config!r}")
+    n = 1 + regions * (1 + hosts_per_region)
+    stats = _state_stats(systems, difs)
+    scope = _flap_scope(network, systems, difs,
+                        network.link_between("h0_1", "border0").name)
+    row = {
+        "config": config,
+        "systems": n,
+        "regions": regions,
+        "mean_table": round(stats["mean_table"], 2),
+        "max_table": stats["max_table"],
+        "total_state": stats["total_state"],
+        "flap_update_scope": scope,
+    }
+    return row
+
+
+def run_sweep(sizes: List[Tuple[int, int]], seed: int = 1) -> List[Dict[str, Any]]:
+    """Table: (regions, hosts/region) pairs, both configurations."""
+    rows = []
+    for regions, hosts in sizes:
+        rows.append(run_config("flat", regions, hosts, seed))
+        rows.append(run_config("recursive", regions, hosts, seed))
+        rows.append(run_config("ip+rip", regions, hosts, seed))
+    return rows
+
+
+def verify_end_to_end(regions: int = 3, hosts_per_region: int = 4,
+                      seed: int = 1) -> Dict[str, Any]:
+    """Sanity check: the recursive stack really carries application data
+    end to end through the h2h DIF."""
+    network, systems, difs = build_recursive(regions, hosts_per_region, seed)
+    src = "h0_0"
+    dst = f"h{regions - 1}_0"
+    server = EchoServer(systems[dst], dif_names=["h2h"])
+    network.run(until=network.engine.now + 0.5)
+    client = EchoClient(systems[src], dif_name="h2h")
+    run_until(network, lambda: client.waiter.done(), timeout=20)
+    if not client.ready:
+        raise RuntimeError(f"allocation failed: {client.waiter.reason}")
+    for _ in range(10):
+        client.ping(200)
+    run_until(network, lambda: client.replies >= 10, timeout=30)
+    return {"delivered": client.replies, "rtts": len(client.rtts)}

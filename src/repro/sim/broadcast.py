@@ -1,0 +1,151 @@
+"""A shared broadcast medium: one half-duplex channel, many attachments.
+
+Point-to-point links model wires; wireless cells and legacy LANs are
+*shared media*: every transmission occupies the one channel and is heard
+by every other attachment.  The :class:`BroadcastMedium` models exactly
+that — a single service queue (transmissions serialize on the channel),
+per-receiver loss, and delivery to all attachments but the sender.
+
+The multi-access shim DIF (:class:`repro.core.shim.BroadcastShimIpcp`)
+turns one of these into a rank-0 IPC facility with more than two members.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from .engine import Engine
+from .link import LossModel, NoLoss
+from .trace import Tracer
+
+ReceiveCallback = Callable[[Any, int], None]
+
+
+class BroadcastEndpoint:
+    """One attachment to a shared medium."""
+
+    def __init__(self, medium: "BroadcastMedium", index: int, name: str) -> None:
+        self._medium = medium
+        self.index = index
+        self.name = name
+        self._receiver: Optional[ReceiveCallback] = None
+        self.up = True
+
+    def attach(self, receiver: ReceiveCallback) -> None:
+        """Register the callback invoked for every heard frame."""
+        self._receiver = receiver
+
+    def send(self, payload: Any, size_bytes: int) -> bool:
+        """Transmit onto the shared channel; False when queue-dropped."""
+        return self._medium.transmit(self.index, payload, size_bytes)
+
+    def deliver(self, payload: Any, size_bytes: int) -> None:
+        """Hand a heard frame up the stack."""
+        if self._receiver is not None and self.up:
+            self._receiver(payload, size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BroadcastEndpoint {self.name}#{self.index}>"
+
+
+class BroadcastMedium:
+    """A half-duplex shared channel.
+
+    All transmissions serialize through one queue at ``capacity_bps`` (the
+    channel is busy for the frame's air time); each delivery applies the
+    loss model independently per receiver, as radio reception does.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity_bps: float = 1e7,
+                 delay: float = 0.002, loss: Optional[LossModel] = None,
+                 queue_limit: int = 256, rng: Optional[random.Random] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        self._engine = engine
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        self.delay = float(delay)
+        self.loss = loss if loss is not None else NoLoss()
+        self.queue_limit = queue_limit
+        self._rng = rng if rng is not None else random.Random(0)
+        self._tracer = tracer
+        self.endpoints: List[BroadcastEndpoint] = []
+        self._queue: List[tuple] = []   # (sender index, payload, size)
+        self._busy = False
+        self._up = True
+        self.frames_sent = 0
+        self.frames_dropped_queue = 0
+        self.deliveries = 0
+        self.deliveries_lost = 0
+
+    # ------------------------------------------------------------------
+    def attach_endpoint(self, name: Optional[str] = None) -> BroadcastEndpoint:
+        """Add one attachment to the medium."""
+        index = len(self.endpoints)
+        endpoint = BroadcastEndpoint(self, index,
+                                     name or f"{self.name}[{index}]")
+        self.endpoints.append(endpoint)
+        return endpoint
+
+    @property
+    def up(self) -> bool:
+        """False while the whole medium is failed (jammed)."""
+        return self._up
+
+    def fail(self) -> None:
+        """Jam the medium."""
+        self._up = False
+        self._queue.clear()
+
+    def repair(self) -> None:
+        """Restore the medium."""
+        self._up = True
+
+    # ------------------------------------------------------------------
+    def transmit(self, sender: int, payload: Any, size_bytes: int) -> bool:
+        """Queue a frame for the shared channel."""
+        if size_bytes <= 0:
+            raise ValueError("frame size must be positive")
+        if not self._up:
+            self.frames_dropped_queue += 1
+            return False
+        if len(self._queue) >= self.queue_limit:
+            self.frames_dropped_queue += 1
+            if self._tracer is not None:
+                self._tracer.count("medium.drop.queue")
+            return False
+        self._queue.append((sender, payload, size_bytes))
+        self.frames_sent += 1
+        if not self._busy:
+            self._serve()
+        return True
+
+    def _serve(self) -> None:
+        if not self._queue or not self._up:
+            self._busy = False
+            return
+        self._busy = True
+        sender, payload, size = self._queue.pop(0)
+        air_time = size * 8.0 / self.capacity_bps
+        self._engine.call_later(air_time, self._finish, sender, payload, size,
+                                label=f"{self.name}.air")
+
+    def _finish(self, sender: int, payload: Any, size: int) -> None:
+        if self._up:
+            for endpoint in self.endpoints:
+                if endpoint.index == sender or not endpoint.up:
+                    continue
+                if self.loss.should_drop(self._rng, self._engine.now):
+                    self.deliveries_lost += 1
+                    continue
+                self.deliveries += 1
+                self._engine.call_later(self.delay, endpoint.deliver,
+                                        payload, size,
+                                        label=f"{self.name}.rx")
+        self._serve()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BroadcastMedium {self.name} "
+                f"{len(self.endpoints)} endpoints>")

@@ -1,0 +1,277 @@
+"""Deterministic discrete-event simulation engine.
+
+Everything in this reproduction — the IPC architecture under test and the
+TCP/IP-style baseline — runs on this engine, never on real sockets.  The
+engine keeps a simulated clock (float seconds) and a binary heap of pending
+events.  Determinism is guaranteed by breaking timestamp ties with a
+monotonically increasing sequence number, so two runs with the same seed and
+the same call order produce identical traces.
+
+Typical use::
+
+    engine = Engine()
+    engine.call_at(1.5, lambda: print("hello at t=1.5"))
+    engine.run(until=10.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Engine.call_at` / :meth:`Engine.call_later`
+    and can be cancelled.  A cancelled event stays in the heap but is skipped
+    when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None],
+                 args: Tuple[Any, ...], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {self.label!r} {state}>"
+
+
+class Engine:
+    """A priority-queue discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock (seconds).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        self._max_events: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still in the queue."""
+        return sum(1 for ev in self._heap if ev.active)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, callback: Callable[..., None],
+                *args: Any, label: str = "") -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``.
+
+        Raises :class:`SimulationError` if ``when`` is in the past.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when:.6f}, clock is at t={self._now:.6f}")
+        event = Event(when, next(self._seq), callback, args, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   *args: Any, label: str = "") -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds.
+
+        Raises :class:`SimulationError` for negative delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args, label=label)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any,
+                  label: str = "") -> Event:
+        """Schedule ``callback(*args)`` at the current time, after events
+        already queued for this instant."""
+        return self.call_at(self._now, callback, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``
+        events have been processed.
+
+        Returns the simulated time at which the run stopped.  When an event
+        horizon ``until`` is given and events remain beyond it, the clock is
+        advanced exactly to ``until``.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        budget = max_events
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if budget is not None and budget <= 0:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                if budget is not None:
+                    budget -= 1
+                event.callback(*event.args)
+            else:
+                # queue drained
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop a run in progress after the current event completes."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self._now:.6f} pending={len(self._heap)}>"
+
+
+class Timer:
+    """A restartable one-shot timer bound to an :class:`Engine`.
+
+    Protocol machinery (EFCP retransmission, enrollment timeouts, SCTP
+    heartbeats...) uses this instead of raw events so restart/cancel logic
+    lives in one place.
+    """
+
+    def __init__(self, engine: Engine, callback: Callable[[], None],
+                 label: str = "") -> None:
+        self._engine = engine
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed."""
+        return self._event is not None and self._event.active
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._engine.call_later(delay, self._fire, label=self._label)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed; harmless otherwise."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Repeatedly invoke a callback at a fixed period until stopped."""
+
+    def __init__(self, engine: Engine, period: float,
+                 callback: Callable[[], None], label: str = "",
+                 jitter_fn: Optional[Callable[[], float]] = None) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        self._engine = engine
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._jitter_fn = jitter_fn
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        """True while the periodic task is scheduled."""
+        return not self._stopped
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin firing; first invocation after ``initial_delay`` (default:
+        one period)."""
+        self._stopped = False
+        delay = self._period if initial_delay is None else initial_delay
+        self._schedule(delay)
+
+    def stop(self) -> None:
+        """Cease firing; safe to call repeatedly."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule(self, delay: float) -> None:
+        if self._stopped:
+            return
+        self._event = self._engine.call_later(delay, self._tick, label=self._label)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        jitter = self._jitter_fn() if self._jitter_fn is not None else 0.0
+        self._schedule(max(1e-9, self._period + jitter))
+
+
+class EngineClock:
+    """A read-only view of an engine's clock, handed to components that must
+    not be able to schedule events."""
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._engine.now

@@ -1,0 +1,336 @@
+"""Simulated physical links.
+
+A :class:`Link` joins exactly two :class:`LinkEnd` objects.  Each direction
+has a FIFO transmit queue, a serialization rate (bits/s), a propagation
+delay, and a loss model.  Payloads are opaque Python objects accompanied by
+an explicit wire size in bytes — the simulator never serializes for real.
+
+Loss models are strategy objects so experiments can swap a fixed loss rate
+for a bursty Gilbert–Elliott process or a signal-strength-driven wireless
+model without touching the link code (mechanism vs policy, as the paper
+prescribes for every component).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+from .engine import Engine
+from .trace import Tracer
+
+ReceiveCallback = Callable[[Any, int], None]
+
+
+class LossModel:
+    """Decides per-frame whether the medium corrupts/drops the frame."""
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        """Return True to drop the frame currently being delivered."""
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """A perfect medium."""
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        return False
+
+
+class UniformLoss(LossModel):
+    """Independent per-frame loss with fixed probability."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1], got {probability}")
+        self.probability = probability
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        return rng.random() < self.probability
+
+
+class GilbertElliott(LossModel):
+    """Two-state bursty loss (good/bad channel), the classic wireless model.
+
+    Parameters are per-frame transition probabilities and per-state loss
+    rates.  Defaults give ~1% average loss with occasional deep fades.
+    """
+
+    def __init__(self, p_good_to_bad: float = 0.005, p_bad_to_good: float = 0.2,
+                 loss_good: float = 0.001, loss_bad: float = 0.5) -> None:
+        for name, p in (("p_good_to_bad", p_good_to_bad),
+                        ("p_bad_to_good", p_bad_to_good),
+                        ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._bad = False
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        if self._bad:
+            if rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._bad = True
+        rate = self.loss_bad if self._bad else self.loss_good
+        return rng.random() < rate
+
+
+class SignalLoss(LossModel):
+    """Loss governed by an externally set signal strength in [0, 1].
+
+    The mobility experiments move a host by lowering signal on the old
+    attachment and raising it on the new one — the paper's "mobility is
+    dynamic multihoming with controlled link failures" (§6.4).
+
+    Loss is 0 at or above ``good_threshold`` and ramps to 1 at or below
+    ``dead_threshold``.
+    """
+
+    def __init__(self, signal: float = 1.0, good_threshold: float = 0.7,
+                 dead_threshold: float = 0.2) -> None:
+        if not dead_threshold < good_threshold:
+            raise ValueError("dead_threshold must be below good_threshold")
+        self.good_threshold = good_threshold
+        self.dead_threshold = dead_threshold
+        self.signal = signal
+
+    def loss_probability(self) -> float:
+        """Current loss probability implied by the signal strength."""
+        if self.signal >= self.good_threshold:
+            return 0.0
+        if self.signal <= self.dead_threshold:
+            return 1.0
+        span = self.good_threshold - self.dead_threshold
+        return (self.good_threshold - self.signal) / span
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        return rng.random() < self.loss_probability()
+
+
+class LinkEnd:
+    """One attachment point of a link.
+
+    A stack element registers ``on_receive(payload, size_bytes)`` and calls
+    :meth:`send` to transmit toward the peer end.
+    """
+
+    def __init__(self, link: "Link", index: int, name: str) -> None:
+        self._link = link
+        self._index = index
+        self.name = name
+        self._receiver: Optional[ReceiveCallback] = None
+
+    @property
+    def link(self) -> "Link":
+        """The link this end belongs to."""
+        return self._link
+
+    @property
+    def peer(self) -> "LinkEnd":
+        """The opposite end of the link."""
+        return self._link.ends[1 - self._index]
+
+    def attach(self, receiver: ReceiveCallback) -> None:
+        """Register the callback invoked for each delivered frame."""
+        self._receiver = receiver
+
+    def send(self, payload: Any, size_bytes: int) -> bool:
+        """Enqueue a frame toward the peer; returns False if tail-dropped."""
+        return self._link.transmit(self._index, payload, size_bytes)
+
+    def deliver(self, payload: Any, size_bytes: int) -> None:
+        """Hand a frame up the attached stack (no-op when nothing attached)."""
+        if self._receiver is not None:
+            self._receiver(payload, size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LinkEnd {self.name}>"
+
+
+class Link:
+    """A full-duplex point-to-point link between two systems.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine providing the clock and timers.
+    name:
+        Human-readable identifier used in traces.
+    capacity_bps:
+        Serialization rate of each direction, bits per second.
+    delay:
+        One-way propagation delay, seconds.
+    loss:
+        A :class:`LossModel` shared by both directions.
+    queue_limit:
+        Maximum frames queued per direction awaiting serialization.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity_bps: float = 1e8,
+                 delay: float = 0.001, loss: Optional[LossModel] = None,
+                 queue_limit: int = 256, rng: Optional[random.Random] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._engine = engine
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        self.delay = float(delay)
+        self.loss = loss if loss is not None else NoLoss()
+        self.queue_limit = queue_limit
+        self._rng = rng if rng is not None else random.Random(0)
+        self._tracer = tracer
+        self.ends: Tuple[LinkEnd, LinkEnd] = (
+            LinkEnd(self, 0, f"{name}[0]"),
+            LinkEnd(self, 1, f"{name}[1]"),
+        )
+        # per-direction state: queue of (payload, size) and busy flag
+        self._queues: Tuple[List[Tuple[Any, int]], List[Tuple[Any, int]]] = ([], [])
+        self._busy = [False, False]
+        self._up = True
+        # observers notified with (link, up) on fail/repair — used by stacks
+        # that model carrier detection (interface down when the link dies)
+        self._observers: List[Callable[["Link", bool], None]] = []
+        # statistics
+        self.frames_sent = [0, 0]
+        self.frames_dropped_queue = [0, 0]
+        self.frames_dropped_loss = [0, 0]
+        self.frames_delivered = [0, 0]
+        self.bytes_delivered = [0, 0]
+
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """False while the link is administratively failed."""
+        return self._up
+
+    def observe(self, callback: Callable[["Link", bool], None]) -> None:
+        """Register for fail/repair notifications (carrier detection)."""
+        self._observers.append(callback)
+
+    def fail(self) -> None:
+        """Take the link down: queued and future frames are discarded."""
+        if not self._up:
+            return
+        self._up = False
+        for direction in (0, 1):
+            self._queues[direction].clear()
+        for callback in list(self._observers):
+            callback(self, False)
+
+    def repair(self) -> None:
+        """Bring the link back up."""
+        if self._up:
+            return
+        self._up = True
+        for callback in list(self._observers):
+            callback(self, True)
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire at this capacity."""
+        return size_bytes * 8.0 / self.capacity_bps
+
+    # ------------------------------------------------------------------
+    def transmit(self, from_index: int, payload: Any, size_bytes: int) -> bool:
+        """Queue a frame in the given direction; returns False on tail drop."""
+        if size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {size_bytes}")
+        if not self._up:
+            self.frames_dropped_queue[from_index] += 1
+            self._trace_count("link.drop.down")
+            return False
+        queue = self._queues[from_index]
+        if len(queue) >= self.queue_limit:
+            self.frames_dropped_queue[from_index] += 1
+            self._trace_count("link.drop.queue")
+            return False
+        queue.append((payload, size_bytes))
+        self.frames_sent[from_index] += 1
+        if not self._busy[from_index]:
+            self._serve(from_index)
+        return True
+
+    def _serve(self, direction: int) -> None:
+        queue = self._queues[direction]
+        if not queue or not self._up:
+            self._busy[direction] = False
+            return
+        self._busy[direction] = True
+        payload, size = queue.pop(0)
+        tx_time = self.serialization_delay(size)
+        self._engine.call_later(
+            tx_time, self._finish_serialization, direction, payload, size,
+            label=f"{self.name}.tx")
+
+    def _finish_serialization(self, direction: int, payload: Any, size: int) -> None:
+        # The frame is on the wire; schedule delivery after propagation,
+        # then immediately serve the next queued frame.
+        if self._up:
+            if self.loss.should_drop(self._rng, self._engine.now):
+                self.frames_dropped_loss[direction] += 1
+                self._trace_count("link.drop.loss")
+            else:
+                self._engine.call_later(
+                    self.delay, self._deliver, direction, payload, size,
+                    label=f"{self.name}.rx")
+        self._serve(direction)
+
+    def _deliver(self, direction: int, payload: Any, size: int) -> None:
+        if not self._up:
+            return
+        self.frames_delivered[direction] += 1
+        self.bytes_delivered[direction] += size
+        self._trace_count("link.delivered")
+        self.ends[1 - direction].deliver(payload, size)
+
+    def _trace_count(self, name: str) -> None:
+        if self._tracer is not None:
+            self._tracer.count(name)
+
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed: float, direction: int = 0) -> float:
+        """Fraction of ``elapsed`` the direction spent serializing delivered
+        bytes (an a-posteriori estimate used by the utilization experiment)."""
+        if elapsed <= 0:
+            return math.nan
+        busy = self.bytes_delivered[direction] * 8.0 / self.capacity_bps
+        return busy / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self._up else "DOWN"
+        return f"<Link {self.name} {self.capacity_bps/1e6:.1f}Mbps {state}>"
+
+
+class WirelessLink(Link):
+    """A link whose loss follows an adjustable signal strength.
+
+    Convenience wrapper: constructs a :class:`SignalLoss` model and exposes
+    :attr:`signal` directly.  Used by Fig 3 (wireless DIFs) and Fig 5
+    (mobility) experiments.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity_bps: float = 2e7,
+                 delay: float = 0.004, signal: float = 1.0,
+                 queue_limit: int = 128, rng: Optional[random.Random] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self._signal_loss = SignalLoss(signal=signal)
+        super().__init__(engine, name, capacity_bps=capacity_bps, delay=delay,
+                         loss=self._signal_loss, queue_limit=queue_limit,
+                         rng=rng, tracer=tracer)
+
+    @property
+    def signal(self) -> float:
+        """Current signal strength in [0, 1]."""
+        return self._signal_loss.signal
+
+    @signal.setter
+    def signal(self, value: float) -> None:
+        self._signal_loss.signal = max(0.0, min(1.0, value))

@@ -1,0 +1,206 @@
+"""Topology construction for experiments.
+
+:class:`Network` owns the engine, tracer, RNG streams, nodes, and links of
+one simulation, and offers builders for the topology families used across
+the benchmark suite: chains, stars, trees, grids, and random Waxman-style
+graphs (via networkx).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .engine import Engine
+from .link import Link, LossModel, WirelessLink
+from .node import Interface, Node
+from .rng import RandomStreams
+from .trace import Tracer
+
+
+class Network:
+    """One simulated network: engine + tracer + nodes + links."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.engine = Engine()
+        self.tracer = Tracer()
+        self.streams = RandomStreams(seed)
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[str, Link] = {}
+        self._link_seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> Node:
+        """Create a node; names must be unique within the network."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(self.engine, name)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name (KeyError if absent)."""
+        return self.nodes[name]
+
+    def connect(self, a: str, b: str, capacity_bps: float = 1e8,
+                delay: float = 0.001, loss: Optional[LossModel] = None,
+                queue_limit: int = 256, wireless: bool = False,
+                name: Optional[str] = None) -> Link:
+        """Create a link between nodes ``a`` and ``b`` and plug it in.
+
+        With ``wireless=True`` a :class:`WirelessLink` (signal-driven loss)
+        is built instead; ``loss`` is then ignored.
+        """
+        node_a = self.nodes[a]
+        node_b = self.nodes[b]
+        if name is None:
+            name = f"{a}--{b}#{next(self._link_seq)}"
+        if name in self.links:
+            raise ValueError(f"duplicate link name {name!r}")
+        rng = self.streams.stream(f"link:{name}")
+        if wireless:
+            link: Link = WirelessLink(self.engine, name, capacity_bps=capacity_bps,
+                                      delay=delay, queue_limit=queue_limit,
+                                      rng=rng, tracer=self.tracer)
+        else:
+            link = Link(self.engine, name, capacity_bps=capacity_bps, delay=delay,
+                        loss=loss, queue_limit=queue_limit, rng=rng,
+                        tracer=self.tracer)
+        self.links[name] = link
+        node_a.add_interface(link.ends[0])
+        node_b.add_interface(link.ends[1])
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        """First link whose name encodes the pair ``a``/``b`` (either order)."""
+        for name, link in self.links.items():
+            base = name.split("#")[0]
+            if base in (f"{a}--{b}", f"{b}--{a}"):
+                return link
+        raise KeyError(f"no link between {a!r} and {b!r}")
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the underlying engine."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Topology builders.  Each returns the list of node names created.
+    # ------------------------------------------------------------------
+    def build_chain(self, count: int, prefix: str = "n",
+                    **link_kwargs: object) -> List[str]:
+        """n0 - n1 - ... - n(count-1)."""
+        if count < 1:
+            raise ValueError("chain needs at least one node")
+        names = [f"{prefix}{i}" for i in range(count)]
+        for name in names:
+            self.add_node(name)
+        for left, right in zip(names, names[1:]):
+            self.connect(left, right, **link_kwargs)
+        return names
+
+    def build_star(self, leaves: int, hub: str = "hub", prefix: str = "leaf",
+                   **link_kwargs: object) -> Tuple[str, List[str]]:
+        """A hub with ``leaves`` spokes; returns (hub, leaf names)."""
+        self.add_node(hub)
+        names = []
+        for i in range(leaves):
+            name = f"{prefix}{i}"
+            self.add_node(name)
+            self.connect(hub, name, **link_kwargs)
+            names.append(name)
+        return hub, names
+
+    def build_tree(self, depth: int, arity: int, prefix: str = "t",
+                   **link_kwargs: object) -> List[str]:
+        """Complete ``arity``-ary tree of the given depth (root at depth 0).
+
+        Node names encode their tree path: ``t``, ``t.0``, ``t.0.1`` ...
+        """
+        if depth < 0 or arity < 1:
+            raise ValueError("depth must be >=0 and arity >=1")
+        root = prefix
+        self.add_node(root)
+        names = [root]
+        frontier = [root]
+        for _ in range(depth):
+            next_frontier = []
+            for parent in frontier:
+                for child_index in range(arity):
+                    child = f"{parent}.{child_index}"
+                    self.add_node(child)
+                    self.connect(parent, child, **link_kwargs)
+                    names.append(child)
+                    next_frontier.append(child)
+            frontier = next_frontier
+        return names
+
+    def build_grid(self, rows: int, cols: int, prefix: str = "g",
+                   **link_kwargs: object) -> List[List[str]]:
+        """rows × cols grid; returns the matrix of node names."""
+        if rows < 1 or cols < 1:
+            raise ValueError("grid needs positive dimensions")
+        matrix = [[f"{prefix}{r}_{c}" for c in range(cols)] for r in range(rows)]
+        for row in matrix:
+            for name in row:
+                self.add_node(name)
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    self.connect(matrix[r][c], matrix[r][c + 1], **link_kwargs)
+                if r + 1 < rows:
+                    self.connect(matrix[r][c], matrix[r + 1][c], **link_kwargs)
+        return matrix
+
+    def build_random(self, count: int, edge_factor: float = 2.0,
+                     prefix: str = "r", **link_kwargs: object) -> List[str]:
+        """Connected random graph with ~``edge_factor * count`` edges.
+
+        Built from a random spanning tree plus extra random edges — a cheap
+        stand-in for Waxman/ISP graphs that guarantees connectivity.
+        """
+        if count < 1:
+            raise ValueError("need at least one node")
+        rng = self.streams.stream("topology")
+        names = [f"{prefix}{i}" for i in range(count)]
+        for name in names:
+            self.add_node(name)
+        # random spanning tree (random attachment)
+        edges = set()
+        for i in range(1, count):
+            j = rng.randrange(i)
+            edges.add((min(i, j), max(i, j)))
+        target = max(count - 1, int(edge_factor * count))
+        attempts = 0
+        while len(edges) < target and attempts < 50 * count:
+            attempts += 1
+            i, j = rng.randrange(count), rng.randrange(count)
+            if i != j:
+                edges.add((min(i, j), max(i, j)))
+        for i, j in sorted(edges):
+            self.connect(names[i], names[j], **link_kwargs)
+        return names
+
+    # ------------------------------------------------------------------
+    def graph(self) -> "nx.Graph":
+        """The physical topology as a networkx graph (nodes by name)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes)
+        for link in self.links.values():
+            a = link.ends[0]
+            b = link.ends[1]
+            # recover node names from the interfaces referencing these ends
+            g.add_edge(self._owner_of(a), self._owner_of(b), link=link)
+        return g
+
+    def _owner_of(self, end) -> str:
+        for node in self.nodes.values():
+            for interface in node.interfaces():
+                if interface.end is end:
+                    return node.name
+        raise KeyError("link end not attached to any node")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network nodes={len(self.nodes)} links={len(self.links)}>"

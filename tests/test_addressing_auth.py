@@ -1,0 +1,178 @@
+"""Unit tests for addressing policies, aggregation, and auth policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.addressing import (AddressingError, FlatAddressing,
+                                   TopologicalAddressing,
+                                   aggregate_forwarding_table,
+                                   lookup_aggregated)
+from repro.core.auth import (AllowAll, AllowList, ChallengeResponse, DenyAll,
+                             NoAuth, PresharedKey)
+from repro.core.names import Address, ApplicationName
+
+
+class TestFlatAddressing:
+    def test_sequential_assignment(self):
+        policy = FlatAddressing()
+        assert policy.assign() == Address(1)
+        assert policy.assign() == Address(2)
+
+    def test_region_hint_ignored(self):
+        assert FlatAddressing().assign(region_hint=(5,)) == Address(1)
+
+    def test_release_enables_reuse(self):
+        policy = FlatAddressing()
+        first = policy.assign()
+        policy.release(first)
+        assert policy.assign() == first
+
+    def test_release_rejects_topological(self):
+        with pytest.raises(AddressingError):
+            FlatAddressing().release(Address(1, 2))
+
+    def test_describe(self):
+        assert FlatAddressing().describe() == "flat"
+
+
+class TestTopologicalAddressing:
+    def test_region_prefix_in_address(self):
+        policy = TopologicalAddressing()
+        address = policy.assign(region_hint=(3, 1))
+        assert address.parts[:2] == (3, 1)
+
+    def test_counters_independent_per_region(self):
+        policy = TopologicalAddressing()
+        first = policy.assign(region_hint=(1,))
+        second = policy.assign(region_hint=(2,))
+        third = policy.assign(region_hint=(1,))
+        assert first == Address(1, 1)
+        assert second == Address(2, 1)
+        assert third == Address(1, 2)
+
+    def test_default_region(self):
+        policy = TopologicalAddressing(default_region=(9,))
+        assert policy.assign() == Address(9, 1)
+
+    def test_describe(self):
+        assert TopologicalAddressing().describe() == "topological"
+
+
+class TestAggregation:
+    def test_uniform_table_collapses_to_default(self):
+        table = {Address(1, i): "hop" for i in range(10)}
+        entries = aggregate_forwarding_table(table)
+        assert entries == [((), "hop")]
+
+    def test_regions_with_distinct_hops_aggregate_per_region(self):
+        table = {}
+        for host in range(5):
+            table[Address(1, host)] = "east"
+            table[Address(2, host)] = "west"
+        entries = aggregate_forwarding_table(table)
+        # covering route for one region plus an override for the other
+        assert len(entries) == 2
+        assert all(lookup_aggregated(entries, dst) == hop
+                   for dst, hop in table.items())
+
+    def test_exception_entry_is_longer_prefix(self):
+        table = {Address(1, host): "east" for host in range(4)}
+        table[Address(1, 9)] = "special"
+        entries = aggregate_forwarding_table(table)
+        assert ((1, 9), "special") in entries
+        # the bulk of region 1 still aggregates
+        assert len(entries) < len(table)
+
+    def test_empty_table(self):
+        assert aggregate_forwarding_table({}) == []
+
+    def test_lookup_longest_prefix_wins(self):
+        entries = [((1,), "region"), ((1, 9), "host")]
+        assert lookup_aggregated(entries, Address(1, 9)) == "host"
+        assert lookup_aggregated(entries, Address(1, 3)) == "region"
+
+    def test_lookup_miss_returns_none(self):
+        assert lookup_aggregated([((2,), "x")], Address(1, 1)) is None
+
+    @given(st.dictionaries(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 5)),
+        st.sampled_from(["a", "b", "c"]), min_size=1, max_size=40))
+    def test_property_aggregation_preserves_lookups(self, raw):
+        table = {Address(*parts): hop for parts, hop in raw.items()}
+        entries = aggregate_forwarding_table(table)
+        for destination, hop in table.items():
+            assert lookup_aggregated(entries, destination) == hop
+
+    @given(st.dictionaries(
+        st.tuples(st.integers(0, 2), st.integers(0, 8)),
+        st.sampled_from(["a", "b"]), min_size=1, max_size=30))
+    def test_property_aggregation_never_larger(self, raw):
+        table = {Address(*parts): hop for parts, hop in raw.items()}
+        assert len(aggregate_forwarding_table(table)) <= len(table)
+
+
+class TestAuthPolicies:
+    def test_noauth_accepts_everything(self):
+        policy = NoAuth()
+        assert policy.verify(policy.credentials(policy.make_challenge()),
+                             None)
+
+    def test_psk_accepts_matching_secret(self):
+        policy = PresharedKey("s3cret")
+        assert policy.verify(policy.credentials(None), None)
+
+    def test_psk_rejects_wrong_secret(self):
+        good = PresharedKey("s3cret")
+        bad = PresharedKey("guess")
+        assert not good.verify(bad.credentials(None), None)
+
+    def test_psk_rejects_non_string(self):
+        assert not PresharedKey("s").verify(42, None)
+
+    def test_psk_requires_secret(self):
+        with pytest.raises(ValueError):
+            PresharedKey("")
+
+    def test_challenge_response_roundtrip(self):
+        policy = ChallengeResponse("shared")
+        challenge = policy.make_challenge()
+        assert policy.verify(policy.credentials(challenge), challenge)
+
+    def test_challenge_response_rejects_wrong_secret(self):
+        server = ChallengeResponse("shared")
+        client = ChallengeResponse("wrong")
+        challenge = server.make_challenge()
+        assert not server.verify(client.credentials(challenge), challenge)
+
+    def test_challenge_response_rejects_replay(self):
+        policy = ChallengeResponse("shared")
+        old_challenge = policy.make_challenge()
+        reply = policy.credentials(old_challenge)
+        fresh_challenge = policy.make_challenge()
+        assert not policy.verify(reply, fresh_challenge)
+
+    def test_challenges_unique(self):
+        policy = ChallengeResponse("s")
+        assert policy.make_challenge() != policy.make_challenge()
+
+    def test_challenge_response_requires_challenge(self):
+        policy = ChallengeResponse("s")
+        assert not policy.verify("anything", None)
+
+
+class TestFlowAccessPolicies:
+    def test_allow_all(self):
+        assert AllowAll().allow(ApplicationName("a"), ApplicationName("b"))
+
+    def test_deny_all(self):
+        assert not DenyAll().allow(ApplicationName("a"), ApplicationName("b"))
+
+    def test_allow_list(self):
+        policy = AllowList([ApplicationName("friend")])
+        assert policy.allow(ApplicationName("friend"), ApplicationName("svc"))
+        assert not policy.allow(ApplicationName("foe"), ApplicationName("svc"))
+
+    def test_allow_list_add(self):
+        policy = AllowList([])
+        policy.add(ApplicationName("late"))
+        assert policy.allow(ApplicationName("late"), ApplicationName("svc"))

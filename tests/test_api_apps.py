@@ -1,0 +1,158 @@
+"""Tests for the application API helpers and the bundled applications."""
+
+import pytest
+
+from repro.apps import (EchoClient, EchoServer, FileSender, FileSink, Mailbox,
+                        MailRelay, RpcClient, RpcServer, send_mail)
+from repro.core import (Dif, DifPolicies, FlowWaiter, MessageFlow,
+                        Orchestrator, add_shims, build_dif_over, make_systems,
+                        run_until, shim_between)
+from repro.core.names import ApplicationName
+from repro.sim.network import Network
+
+
+def two_hosts(seed=1):
+    network = Network(seed=seed)
+    network.add_node("a")
+    network.add_node("b")
+    network.connect("a", "b")
+    systems = make_systems(network)
+    add_shims(systems, network)
+    dif = Dif("net", DifPolicies(keepalive_interval=5.0))
+    orchestrator = Orchestrator(network)
+    build_dif_over(orchestrator, dif, systems,
+                   adjacencies=[("a", "b", shim_between(network, "a", "b"))])
+    orchestrator.run(timeout=30)
+    return network, systems
+
+
+class TestMessageFlow:
+    def test_large_message_fragments_and_reassembles(self):
+        network, systems = two_hosts()
+        inbound = []
+        systems["b"].register_app(ApplicationName("svc"), inbound.append)
+        network.run(until=network.engine.now + 0.5)
+        from repro.core.qos import RELIABLE
+        flow = systems["a"].allocate_flow(ApplicationName("cli"),
+                                          ApplicationName("svc"), qos=RELIABLE)
+        waiter = FlowWaiter(flow)
+        run_until(network, waiter.done, timeout=10)
+        sender = MessageFlow(network.engine, flow, max_fragment=100)
+        receiver = MessageFlow(network.engine, inbound[0])
+        got = []
+        receiver.set_message_receiver(got.append)
+        big = bytes(range(256)) * 40   # 10240 bytes -> ~103 fragments
+        sender.send_message(big)
+        run_until(network, lambda: got, timeout=20)
+        assert got == [big]
+        assert sender.messages_sent == 1
+        assert receiver.messages_received == 1
+
+    def test_backlog_drains_under_backpressure(self):
+        network, systems = two_hosts()
+        inbound = []
+        systems["b"].register_app(ApplicationName("svc"), inbound.append)
+        network.run(until=network.engine.now + 0.5)
+        from repro.core.qos import RELIABLE
+        flow = systems["a"].allocate_flow(ApplicationName("cli"),
+                                          ApplicationName("svc"), qos=RELIABLE)
+        waiter = FlowWaiter(flow)
+        run_until(network, waiter.done, timeout=10)
+        sender = MessageFlow(network.engine, flow, max_fragment=500)
+        receiver = MessageFlow(network.engine, inbound[0])
+        got = []
+        receiver.set_message_receiver(got.append)
+        for index in range(50):
+            sender.send_message(b"m%03d" % index + b"x" * 2000)
+        run_until(network, lambda: len(got) == 50, timeout=60)
+        assert len(got) == 50
+        assert sender.pending_fragments() == 0
+
+
+class TestEcho:
+    def test_echo_roundtrip_and_rtt(self):
+        network, systems = two_hosts()
+        EchoServer(systems["b"])
+        network.run(until=network.engine.now + 0.5)
+        client = EchoClient(systems["a"])
+        run_until(network, lambda: client.waiter.done(), timeout=10)
+        assert client.ready
+        client.ping(64)
+        client.ping(64)
+        run_until(network, lambda: client.replies == 2, timeout=10)
+        assert len(client.rtts) == 2
+        assert all(rtt > 0 for rtt in client.rtts)
+
+
+class TestFileTransfer:
+    def test_transfer_completes_and_counts_bytes(self):
+        network, systems = two_hosts()
+        sink = FileSink(systems["b"])
+        network.run(until=network.engine.now + 0.5)
+        sender = FileSender(systems["a"], total_bytes=50_000)
+        run_until(network, lambda: sink.transfers_completed >= 1, timeout=60)
+        assert sink.bytes_received == 50_000
+        assert sender.finished_submitting
+
+
+class TestRpc:
+    def test_request_response_correlation(self):
+        network, systems = two_hosts()
+        server = RpcServer(systems["b"])
+        server.register_method("add", lambda params: params["x"] + params["y"])
+        network.run(until=network.engine.now + 0.5)
+        client = RpcClient(systems["a"])
+        run_until(network, lambda: client.ready, timeout=10)
+        results = []
+        client.call("add", {"x": 2, "y": 3},
+                    lambda reply: results.append(reply["result"]))
+        client.call("add", {"x": 10, "y": 20},
+                    lambda reply: results.append(reply["result"]))
+        run_until(network, lambda: len(results) == 2, timeout=10)
+        assert results == [5, 30]
+        assert server.requests_served == 2
+
+    def test_unknown_method_errors(self):
+        network, systems = two_hosts()
+        server = RpcServer(systems["b"])
+        network.run(until=network.engine.now + 0.5)
+        client = RpcClient(systems["a"])
+        run_until(network, lambda: client.ready, timeout=10)
+        errors = []
+        client.call("nope", {}, lambda reply: errors.append(reply.get("error")))
+        run_until(network, lambda: errors, timeout=10)
+        assert errors == ["no-such-method"]
+        assert server.errors == 1
+
+
+class TestMailRelay:
+    def test_relay_forwards_to_mailbox(self):
+        # a - relay host b - c : mail submitted at a, relayed at b, boxed at c
+        network = Network(seed=4)
+        for name in ("a", "b", "c"):
+            network.add_node(name)
+        network.connect("a", "b")
+        network.connect("b", "c")
+        systems = make_systems(network)
+        add_shims(systems, network)
+        dif = Dif("net", DifPolicies(keepalive_interval=5.0))
+        orchestrator = Orchestrator(network)
+        build_dif_over(orchestrator, dif, systems, adjacencies=[
+            ("a", "b", shim_between(network, "a", "b")),
+            ("b", "c", shim_between(network, "b", "c"))])
+        orchestrator.run(timeout=30)
+        mailbox = Mailbox(systems["c"], "mbox-c", users=["alice"])
+        relay = MailRelay(systems["b"], "relay-b", routes={"alice": "mbox-c"})
+        network.run(until=network.engine.now + 0.5)
+        send_mail(systems["a"], "mua-a", "relay-b", "alice", "hi alice")
+        run_until(network, lambda: mailbox.inbox("alice"), timeout=20)
+        inbox = mailbox.inbox("alice")
+        assert inbox[0]["body"] == "hi alice"
+        assert relay.forwarded == 1
+
+    def test_unroutable_mail_stays_queued(self):
+        network, systems = two_hosts()
+        relay = MailRelay(systems["b"], "relay", routes={})
+        network.run(until=network.engine.now + 0.5)
+        relay.submit({"to": "nobody", "body": "lost"})
+        assert len(relay.queued) == 1

@@ -1,0 +1,182 @@
+"""Tests for the shared broadcast medium and the multi-access shim DIF."""
+
+import pytest
+
+from repro.core import (ApplicationName, Dif, DifPolicies, FlowWaiter,
+                        MessageFlow, Orchestrator, build_dif_over,
+                        make_systems, run_until)
+from repro.core.qos import RELIABLE
+from repro.sim.broadcast import BroadcastMedium
+from repro.sim.engine import Engine
+from repro.sim.link import UniformLoss
+from repro.sim.network import Network
+
+
+class TestBroadcastMedium:
+    def _medium(self, n=3, **kwargs):
+        engine = Engine()
+        medium = BroadcastMedium(engine, "cell", **kwargs)
+        inboxes = []
+        for index in range(n):
+            endpoint = medium.attach_endpoint()
+            box = []
+            endpoint.attach(lambda p, s, b=box: b.append(p))
+            inboxes.append(box)
+        return engine, medium, inboxes
+
+    def test_everyone_but_sender_hears(self):
+        engine, medium, inboxes = self._medium(4)
+        medium.endpoints[1].send("hello", 100)
+        engine.run()
+        assert inboxes[0] == ["hello"]
+        assert inboxes[1] == []          # not the sender
+        assert inboxes[2] == ["hello"]
+        assert inboxes[3] == ["hello"]
+
+    def test_channel_serializes_transmissions(self):
+        engine, medium, inboxes = self._medium(2, capacity_bps=1e6, delay=0.0)
+        heard = []
+        medium.endpoints[1].attach(lambda p, s: heard.append(engine.now))
+        medium.endpoints[0].send("a", 1250)   # 10 ms air time each
+        medium.endpoints[0].send("b", 1250)
+        engine.run()
+        assert heard == pytest.approx([0.01, 0.02])
+
+    def test_per_receiver_loss(self):
+        import random
+        engine = Engine()
+        medium = BroadcastMedium(engine, "cell", loss=UniformLoss(0.5),
+                                 rng=random.Random(4))
+        boxes = []
+        for _ in range(3):
+            endpoint = medium.attach_endpoint()
+            box = []
+            endpoint.attach(lambda p, s, b=box: b.append(p))
+            boxes.append(box)
+        for _ in range(100):
+            medium.endpoints[0].send("x", 50)
+        engine.run()
+        # receivers lose independently: roughly half each, not identical
+        assert 20 < len(boxes[1]) < 80
+        assert 20 < len(boxes[2]) < 80
+        assert medium.deliveries_lost > 0
+
+    def test_jammed_medium_drops(self):
+        engine, medium, inboxes = self._medium(2)
+        medium.fail()
+        assert not medium.endpoints[0].send("x", 10)
+        medium.repair()
+        assert medium.endpoints[0].send("x", 10)
+        engine.run()
+        assert inboxes[1] == ["x"]
+
+    def test_queue_limit(self):
+        engine, medium, _ = self._medium(2, capacity_bps=1e3, queue_limit=2)
+        results = [medium.endpoints[0].send("x", 1000) for _ in range(5)]
+        assert results.count(False) >= 2
+
+
+class TestBroadcastShim:
+    def _cell(self, names=("bs", "m1", "m2"), seed=1, loss=None):
+        network = Network(seed=seed)
+        medium = BroadcastMedium(network.engine, "cell", capacity_bps=2e7,
+                                 delay=0.002, loss=loss,
+                                 rng=network.streams.stream("cell"))
+        for name in names:
+            network.add_node(name)
+        systems = make_systems(network)
+        shims = {}
+        for name in names:
+            endpoint = medium.attach_endpoint(name)
+            shims[name] = systems[name].add_broadcast_shim(endpoint, "cell")
+        return network, systems, shims, medium
+
+    def test_flow_discovered_by_whohas(self):
+        network, systems, shims, _medium = self._cell()
+        inbound = []
+        shims["bs"].register_app(ApplicationName("svc"), inbound.append)
+        flow = shims["m1"].allocate_flow(ApplicationName("cli"),
+                                         ApplicationName("svc"))
+        run_until(network, lambda: flow.allocated, timeout=5)
+        assert flow.allocated and inbound
+
+    def test_unknown_app_times_out(self):
+        network, systems, shims, _medium = self._cell()
+        flow = shims["m1"].allocate_flow(ApplicationName("cli"),
+                                         ApplicationName("ghost"))
+        waiter = FlowWaiter(flow)
+        run_until(network, waiter.done, timeout=10)
+        assert not waiter.ok and waiter.reason == "no-such-app"
+
+    def test_unicast_data_not_heard_by_third_party(self):
+        network, systems, shims, _medium = self._cell()
+        inbound = []
+        shims["bs"].register_app(ApplicationName("svc"), inbound.append)
+        third_party_flows = []
+        shims["m2"].register_app(ApplicationName("svc2"),
+                                 third_party_flows.append)
+        flow = shims["m1"].allocate_flow(ApplicationName("cli"),
+                                         ApplicationName("svc"))
+        run_until(network, lambda: flow.allocated, timeout=5)
+        got = []
+        inbound[0].set_receiver(lambda p, s: got.append(p))
+        flow.send("secret", 10)
+        network.run(until=network.engine.now + 1.0)
+        assert got == ["secret"]
+        assert third_party_flows == []   # m2 saw nothing above its shim
+
+    def test_two_concurrent_flows_from_different_members(self):
+        network, systems, shims, _medium = self._cell()
+        inbound = []
+        shims["bs"].register_app(ApplicationName("svc"), inbound.append)
+        flow1 = shims["m1"].allocate_flow(ApplicationName("c1"),
+                                          ApplicationName("svc"))
+        flow2 = shims["m2"].allocate_flow(ApplicationName("c2"),
+                                          ApplicationName("svc"))
+        run_until(network, lambda: flow1.allocated and flow2.allocated,
+                  timeout=5)
+        assert len(inbound) == 2
+
+    def test_dif_over_broadcast_cell(self):
+        """A full DIF whose three members all share one radio cell."""
+        network, systems, shims, _medium = self._cell()
+        dif = Dif("cellnet", DifPolicies(keepalive_interval=1.0))
+        orchestrator = Orchestrator(network)
+        build_dif_over(orchestrator, dif, systems, adjacencies=[
+            ("m1", "bs", "cell"),
+            ("m2", "bs", "cell")])
+        orchestrator.run(timeout=30)
+        assert dif.member_count() == 3
+        # end-to-end m1 -> m2 (relayed by the base station member)
+        received = []
+
+        def on_flow(flow):
+            mf = MessageFlow(network.engine, flow)
+            mf.set_message_receiver(received.append)
+            on_flow.keep = mf
+        systems["m2"].register_app(ApplicationName("peer"), on_flow)
+        network.run(until=network.engine.now + 0.5)
+        flow = systems["m1"].allocate_flow(ApplicationName("cli"),
+                                           ApplicationName("peer"),
+                                           qos=RELIABLE)
+        waiter = FlowWaiter(flow)
+        run_until(network, waiter.done, timeout=10)
+        assert waiter.ok
+        MessageFlow(network.engine, flow).send_message(b"over the air")
+        run_until(network, lambda: received, timeout=10)
+        assert received == [b"over the air"]
+        assert systems["bs"].ipcp("cellnet").rmt.pdus_relayed > 0
+
+    def test_dif_over_lossy_cell(self):
+        network, systems, shims, medium = self._cell(
+            loss=UniformLoss(0.15))
+        dif = Dif("cellnet", DifPolicies(keepalive_interval=1.0,
+                                         dead_factor=8,
+                                         mgmt_timeout=1.0,
+                                         enroll_attempts=8))
+        orchestrator = Orchestrator(network)
+        build_dif_over(orchestrator, dif, systems, adjacencies=[
+            ("m1", "bs", "cell"),
+            ("m2", "bs", "cell")])
+        orchestrator.run(timeout=120)
+        assert dif.member_count() == 3

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["zz"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_registry_covers_all_paper_experiments(self):
+        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5", "e6", "e7",
+                                    "e8", "e9", "a1", "a2"}
+
+    def test_single_experiment_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "e2",
+                            ("stub", lambda: [{"routers": 1, "ok": True}]))
+        assert main(["e2"]) == 0
+        out = capsys.readouterr().out
+        assert "routers" in out and "stub" in out

@@ -1,0 +1,195 @@
+"""Coverage for experiment utilities and assorted behaviour edges."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.common import (delivery_gap, format_table, goodput_bps,
+                                      mean, percentile)
+
+
+class TestFormatTable:
+    def test_renders_aligned_columns(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3]
+
+    def test_title_and_empty(self):
+        assert format_table([], title="T").startswith("T")
+
+    def test_missing_cells_dashed(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}],
+                            columns=["a", "b"])
+        assert "-" in text.splitlines()[2]
+
+    def test_value_formats(self):
+        text = format_table([{"big": 123456.0, "small": 0.00123,
+                              "bool": True, "nan": float("nan"),
+                              "zero": 0.0}])
+        row = text.splitlines()[2]
+        assert "123,456" in row
+        assert "yes" in row
+        assert "nan" in row
+
+    def test_explicit_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestMetricsHelpers:
+    def test_goodput(self):
+        assert goodput_bps(1000, 2.0) == 4000.0
+        assert math.isnan(goodput_bps(1000, 0.0))
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert math.isnan(mean([]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_property_percentile_bounds(self, values):
+        assert min(values) <= percentile(values, 50) <= max(values)
+
+    def test_percentile_empty_nan(self):
+        assert math.isnan(percentile([], 50))
+
+
+class TestDeliveryGap:
+    def test_simple_outage(self):
+        times = [0.1, 0.2, 0.3, 1.5, 1.6]
+        assert delivery_gap(times, 0.35) == pytest.approx(1.2)
+
+    def test_no_deliveries_after_is_infinite(self):
+        assert math.isinf(delivery_gap([0.1, 0.2], 0.5))
+
+    def test_in_flight_delivery_does_not_mask_outage(self):
+        # one delivery right after the failure, then a long silence
+        times = [0.1, 0.2, 0.21, 1.9, 2.0]
+        assert delivery_gap(times, 0.2) == pytest.approx(1.69)
+
+    def test_steady_traffic_small_gap(self):
+        times = [i * 0.05 for i in range(100)]
+        assert delivery_gap(times, 2.0) == pytest.approx(0.05)
+
+
+class TestEfcpDelayedAcks:
+    def test_ack_delay_batches_acks(self):
+        from repro.core.efcp import EfcpConnection, EfcpPolicy
+        from repro.core.names import Address
+        from repro.core.pdu import ControlPdu, DataPdu
+        from repro.sim.engine import Engine
+        engine = Engine()
+        acks = []
+
+        def output(pdu):
+            if isinstance(pdu, ControlPdu):
+                acks.append(engine.now)
+        policy = EfcpPolicy(ack_delay=0.05)
+        conn = EfcpConnection(engine, Address(2), Address(1), 2, 1, policy,
+                              output=output, deliver=lambda p, s: None)
+        for seq in range(5):
+            conn.handle_data(DataPdu(Address(1), Address(2), 1, 2, seq,
+                                     b"x", 1))
+        engine.run(until=1.0)
+        assert len(acks) == 1            # five arrivals, one delayed ack
+        assert acks[0] == pytest.approx(0.05)
+
+    def test_immediate_acks_by_default(self):
+        from repro.core.efcp import EfcpConnection, EfcpPolicy
+        from repro.core.names import Address
+        from repro.core.pdu import ControlPdu, DataPdu
+        from repro.sim.engine import Engine
+        engine = Engine()
+        acks = []
+
+        def output(pdu):
+            if isinstance(pdu, ControlPdu):
+                acks.append(pdu)
+        conn = EfcpConnection(engine, Address(2), Address(1), 2, 1,
+                              EfcpPolicy(), output=output,
+                              deliver=lambda p, s: None)
+        for seq in range(3):
+            conn.handle_data(DataPdu(Address(1), Address(2), 1, 2, seq,
+                                     b"x", 1))
+        assert len(acks) == 3
+
+
+class TestAppEdges:
+    def _pair(self):
+        from repro.core import (Dif, DifPolicies, Orchestrator, add_shims,
+                                build_dif_over, make_systems, shim_between)
+        from repro.sim.network import Network
+        network = Network(seed=9)
+        network.add_node("a")
+        network.add_node("b")
+        network.connect("a", "b")
+        systems = make_systems(network)
+        add_shims(systems, network)
+        dif = Dif("net", DifPolicies(keepalive_interval=5.0))
+        orchestrator = Orchestrator(network)
+        build_dif_over(orchestrator, dif, systems,
+                       adjacencies=[("a", "b",
+                                     shim_between(network, "a", "b"))])
+        orchestrator.run(timeout=30)
+        return network, systems
+
+    def test_echo_server_counts_active_flows(self):
+        from repro.apps import EchoClient, EchoServer
+        from repro.core import run_until
+        network, systems = self._pair()
+        server = EchoServer(systems["b"])
+        network.run(until=network.engine.now + 0.5)
+        clients = [EchoClient(systems["a"], client_name=f"c{i}")
+                   for i in range(3)]
+        run_until(network, lambda: all(c.ready for c in clients), timeout=15)
+        assert server.active_flows() == 3
+        clients[0].flow.deallocate()
+        network.run(until=network.engine.now + 1.0)
+        assert server.active_flows() == 2
+
+    def test_file_sender_honours_chunk_size(self):
+        from repro.apps import FileSender, FileSink
+        from repro.core import run_until
+        network, systems = self._pair()
+        sink = FileSink(systems["b"])
+        network.run(until=network.engine.now + 0.5)
+        sender = FileSender(systems["a"], total_bytes=10_000, chunk_size=3000)
+        run_until(network, lambda: sink.transfers_completed >= 1, timeout=60)
+        assert sink.bytes_received == 10_000
+
+    def test_streaming_sink_tracks_sources_separately(self):
+        from repro.apps.streaming import CbrSource, LatencySink
+        from repro.core import run_until
+        from repro.core.qos import BEST_EFFORT
+        network, systems = self._pair()
+        sink = LatencySink(systems["b"], "sink")
+        network.run(until=network.engine.now + 0.5)
+        one = CbrSource(systems["a"], "src-one", "sink", BEST_EFFORT, 200, 0.05)
+        two = CbrSource(systems["a"], "src-two", "sink", BEST_EFFORT, 200, 0.05)
+        run_until(network, lambda: one.waiter.done() and two.waiter.done(),
+                  timeout=15)
+        one.start()
+        two.start()
+        network.run(until=network.engine.now + 1.0)
+        one.stop()
+        two.stop()
+        network.run(until=network.engine.now + 0.5)
+        assert len(sink.delays_for("src-one")) > 5
+        assert len(sink.delays_for("src-two")) > 5
+        assert all(d >= 0 for d in sink.delays_for("src-one"))
+
+
+class TestRibLiteralReads:
+    def test_remote_read_of_literal_rib_object(self):
+        from repro.core import run_until
+        network, systems = TestAppEdges()._pair()
+        b_ipcp = systems["b"].ipcp("net")
+        b_ipcp.rib.write("/custom/note", {"owner": "ops"})
+        a_ipcp = systems["a"].ipcp("net")
+        replies = []
+        a_ipcp.remote_read(b_ipcp.address, "/custom/note", replies.append)
+        run_until(network, lambda: replies, timeout=10)
+        assert replies[0].ok
+        assert replies[0].value == {"owner": "ops"}

@@ -1,0 +1,164 @@
+"""Unit tests for SDU delimiting and SDU protection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.delimiting import (FRAGMENT_HEADER_BYTES, Delimiter, Fragment,
+                                   Reassembler)
+from repro.core.sdu_protection import (PROTECTION_OVERHEAD_BYTES,
+                                       SduProtection, SduProtectionError)
+
+
+class TestDelimiter:
+    def test_small_message_is_one_fragment(self):
+        fragments = Delimiter(max_fragment=100).delimit(b"hello")
+        assert len(fragments) == 1
+        assert fragments[0].last
+        assert fragments[0].data == b"hello"
+
+    def test_large_message_fragments_at_boundary(self):
+        fragments = Delimiter(max_fragment=10).delimit(b"x" * 25)
+        assert [len(f.data) for f in fragments] == [10, 10, 5]
+        assert [f.index for f in fragments] == [0, 1, 2]
+        assert [f.last for f in fragments] == [False, False, True]
+
+    def test_exact_multiple_has_no_empty_tail(self):
+        fragments = Delimiter(max_fragment=10).delimit(b"x" * 20)
+        assert [len(f.data) for f in fragments] == [10, 10]
+
+    def test_empty_message_yields_one_empty_fragment(self):
+        fragments = Delimiter().delimit(b"")
+        assert len(fragments) == 1
+        assert fragments[0].last and fragments[0].data == b""
+
+    def test_message_ids_increase(self):
+        delimiter = Delimiter()
+        first = delimiter.delimit(b"a")[0].message_id
+        second = delimiter.delimit(b"b")[0].message_id
+        assert second == first + 1
+
+    def test_wire_size_includes_header(self):
+        fragment = Fragment(0, 0, True, b"12345")
+        assert fragment.wire_size() == FRAGMENT_HEADER_BYTES + 5
+
+    def test_invalid_max_fragment(self):
+        with pytest.raises(ValueError):
+            Delimiter(max_fragment=0)
+
+
+class TestReassembler:
+    def test_roundtrip_single(self):
+        delimiter, reassembler = Delimiter(max_fragment=8), Reassembler()
+        outputs = [reassembler.push(f) for f in delimiter.delimit(b"payload!" * 4)]
+        assert outputs[-1] == b"payload!" * 4
+        assert all(o is None for o in outputs[:-1])
+
+    @given(st.lists(st.binary(max_size=300), min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=64))
+    def test_property_roundtrip_many_messages(self, messages, max_fragment):
+        delimiter = Delimiter(max_fragment=max_fragment)
+        reassembler = Reassembler()
+        received = []
+        for message in messages:
+            for fragment in delimiter.delimit(message):
+                result = reassembler.push(fragment)
+                if result is not None:
+                    received.append(result)
+        assert received == messages
+
+    def test_missing_head_discards(self):
+        delimiter, reassembler = Delimiter(max_fragment=4), Reassembler()
+        fragments = delimiter.delimit(b"abcdefgh")
+        assert reassembler.push(fragments[1]) is None
+        assert reassembler.messages_discarded == 1
+
+    def test_gap_in_middle_discards_message(self):
+        delimiter, reassembler = Delimiter(max_fragment=4), Reassembler()
+        fragments = delimiter.delimit(b"abcdefghijkl")
+        reassembler.push(fragments[0])
+        assert reassembler.push(fragments[2]) is None
+        assert reassembler.messages_discarded == 1
+
+    def test_new_message_preempts_incomplete_one(self):
+        delimiter, reassembler = Delimiter(max_fragment=4), Reassembler()
+        first = delimiter.delimit(b"abcdefgh")
+        second = delimiter.delimit(b"wxyz")
+        reassembler.push(first[0])            # incomplete
+        result = reassembler.push(second[0])  # new message begins
+        assert result == b"wxyz"
+        assert reassembler.messages_discarded == 1
+
+    def test_recovers_after_discard(self):
+        delimiter, reassembler = Delimiter(max_fragment=4), Reassembler()
+        lost = delimiter.delimit(b"abcdefgh")
+        reassembler.push(lost[0])
+        result = None
+        for fragment in delimiter.delimit(b"hello"):
+            result = reassembler.push(fragment)
+        assert result == b"hello"
+
+
+class TestSduProtection:
+    def test_protect_unprotect_roundtrip(self):
+        protection = SduProtection()
+        assert protection.unprotect(protection.protect(b"data")) == b"data"
+
+    @given(st.binary(max_size=2000))
+    def test_property_roundtrip(self, data):
+        protection = SduProtection()
+        assert protection.unprotect(protection.protect(data)) == data
+
+    def test_overhead_is_constant(self):
+        protection = SduProtection()
+        wrapped = protection.protect(b"x" * 10)
+        assert len(wrapped) == 10 + PROTECTION_OVERHEAD_BYTES
+
+    def test_corruption_detected(self):
+        protection = SduProtection()
+        wrapped = bytearray(protection.protect(b"data"))
+        wrapped[2] ^= 0xFF
+        with pytest.raises(SduProtectionError):
+            protection.unprotect(bytes(wrapped))
+
+    def test_crc_disabled_skips_check(self):
+        protection = SduProtection(use_crc=False)
+        wrapped = bytearray(protection.protect(b"data"))
+        wrapped[2] ^= 0xFF
+        assert protection.unprotect(bytes(wrapped)) != b"data"
+
+    def test_hop_decrement_chain(self):
+        protection = SduProtection(max_hops=3)
+        wrapped = protection.protect(b"d")
+        for _ in range(2):
+            wrapped = protection.decrement_hops(wrapped)
+        assert protection.unprotect(wrapped) == b"d"
+
+    def test_lifetime_exhaustion(self):
+        protection = SduProtection(max_hops=1)
+        wrapped = protection.decrement_hops(protection.protect(b"d"))
+        with pytest.raises(SduProtectionError):
+            protection.unprotect(wrapped)
+
+    def test_decrement_exhausted_raises(self):
+        protection = SduProtection(max_hops=1)
+        wrapped = protection.decrement_hops(protection.protect(b"d"))
+        with pytest.raises(SduProtectionError):
+            protection.decrement_hops(wrapped)
+
+    def test_too_short_sdu_rejected(self):
+        with pytest.raises(SduProtectionError):
+            SduProtection().unprotect(b"xy")
+
+    def test_max_hops_validation(self):
+        with pytest.raises(ValueError):
+            SduProtection(max_hops=0)
+        with pytest.raises(ValueError):
+            SduProtection(max_hops=256)
+
+    @given(st.binary(max_size=200), st.integers(min_value=2, max_value=64))
+    def test_property_decrement_preserves_payload(self, data, hops):
+        protection = SduProtection(max_hops=hops)
+        wrapped = protection.protect(data)
+        for _ in range(hops - 1):
+            wrapped = protection.decrement_hops(wrapped)
+        assert protection.unprotect(wrapped) == data

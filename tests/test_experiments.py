@@ -1,0 +1,293 @@
+"""Shape tests for every experiment (DESIGN.md §4).
+
+A position paper publishes no numbers, so "reproduction" means the
+qualitative claims hold: who wins, in which direction, with which scaling.
+Parameters are kept small — the benchmarks run the full sweeps.
+"""
+
+import math
+
+import pytest
+
+from repro.core.qos import BEST_EFFORT, RELIABLE
+
+
+class TestE1TwoSystem:
+    def test_reliable_cube_delivers_everything_under_loss(self):
+        from repro.experiments.e1_two_system import run_transfer
+        row = run_transfer(0.15, RELIABLE, messages=60)
+        assert row["delivery_ratio"] == 1.0
+        assert row["retransmissions"] > 0
+
+    def test_best_effort_cube_loses_roughly_the_loss_rate(self):
+        from repro.experiments.e1_two_system import run_transfer
+        row = run_transfer(0.2, BEST_EFFORT, messages=150)
+        assert 0.45 < row["delivery_ratio"] < 0.95
+        assert row["retransmissions"] == 0
+
+    def test_port_ids_local_no_well_known(self):
+        from repro.experiments.e1_two_system import run_port_id_locality
+        result = run_port_id_locality()
+        assert result["client_ports_distinct"]
+        assert result["no_well_known_port"]
+
+
+class TestE2Relay:
+    def test_rtt_grows_with_hops_and_relays_hold_no_flow_state(self):
+        from repro.experiments.e2_relay import run_relay
+        short = run_relay(1, messages=20)
+        long = run_relay(3, messages=20)
+        assert short["delivered"] == long["delivered"] == 20
+        assert long["rtt_p50_ms"] > short["rtt_p50_ms"]
+        assert long["relay_flow_state"] == 0
+        assert long["endpoint_flow_state"] >= 1
+        assert long["relayed_min"] > 0
+
+
+class TestE3ScopedRecovery:
+    def test_scoped_beats_e2e_under_wireless_loss(self):
+        from repro.experiments.e3_scoped_recovery import run_transfer
+        e2e = run_transfer("e2e", 0.15, total_bytes=60_000)
+        scoped = run_transfer("scoped", 0.15, total_bytes=60_000)
+        assert scoped["goodput_mbps"] > e2e["goodput_mbps"]
+        # the wide-scope layer never had to recover in the scoped config
+        assert scoped["top_layer_retx"] == 0
+        assert e2e["top_layer_retx"] > 0
+        assert scoped["wireless_layer_retx"] > 0
+
+    def test_without_loss_the_extra_layer_only_costs_overhead(self):
+        from repro.experiments.e3_scoped_recovery import run_transfer
+        e2e = run_transfer("e2e", 0.0, total_bytes=60_000)
+        scoped = run_transfer("scoped", 0.0, total_bytes=60_000)
+        assert scoped["goodput_mbps"] == pytest.approx(e2e["goodput_mbps"],
+                                                       rel=0.2)
+
+
+class TestE4Multihoming:
+    def test_rina_survives_and_outage_tracks_keepalive_policy(self):
+        from repro.experiments.e4_multihoming import run_rina
+        fast = run_rina(keepalive_interval=0.1)
+        slow = run_rina(keepalive_interval=0.4)
+        assert fast["survived"] and slow["survived"]
+        assert fast["outage_s"] < slow["outage_s"]
+        assert fast["outage_s"] < 1.0
+
+    def test_tcp_never_recovers(self):
+        from repro.experiments.e4_multihoming import run_tcp
+        row = run_tcp()
+        assert not row["survived"]
+        assert math.isinf(row["outage_s"])
+
+    def test_sctp_recovers_after_heartbeat_detection(self):
+        from repro.experiments.e4_multihoming import run_sctp
+        row = run_sctp()
+        assert row["survived"]
+        assert row["failover_after_s"] is None or row["failover_after_s"] > 0
+
+
+class TestE5Mobility:
+    def test_intra_region_updates_stay_local_and_flow_survives(self):
+        from repro.experiments.e5_mobility import run_rina
+        rows = run_rina()
+        intra = [r for r in rows if r["move"] == "intra-region"][0]
+        inter = [r for r in rows if r["move"] == "inter-region"][0]
+        assert intra["flow_survived"] and inter["flow_survived"]
+        # Fig 5's claim: a local move is invisible above
+        assert intra["updates_region1"] > 0
+        assert intra["updates_metro"] == 0
+        assert inter["updates_metro"] > 0
+
+    def test_mobileip_pays_triangle_stretch(self):
+        from repro.experiments.e5_mobility import run_mobileip
+        rows = run_mobileip()
+        assert all(r["flow_survived"] for r in rows)
+        assert all(r["stretch"] > 1.0 for r in rows)
+        assert all(r["registration_msgs"] >= 1 for r in rows)
+
+
+class TestE6Scalability:
+    def test_recursive_state_and_update_scope_smaller(self):
+        from repro.experiments.e6_scalability import run_config
+        flat = run_config("flat", regions=3, hosts_per_region=3)
+        recursive = run_config("recursive", regions=3, hosts_per_region=3)
+        assert recursive["total_state"] < flat["total_state"]
+        assert recursive["max_table"] < flat["max_table"]
+        assert recursive["flap_update_scope"] < flat["flap_update_scope"]
+        # flat floods the whole network on a flap
+        assert flat["flap_update_scope"] == flat["systems"]
+
+    def test_recursive_stack_still_delivers_end_to_end(self):
+        from repro.experiments.e6_scalability import verify_end_to_end
+        result = verify_end_to_end(regions=3, hosts_per_region=3)
+        assert result["delivered"] == 10
+
+
+class TestE7Security:
+    def test_outsider_blocked_with_auth(self):
+        from repro.experiments.e7_security import run_rina_outsider
+        row = run_rina_outsider("challenge", probes=20)
+        assert not row["attacker_enrolled"]
+        assert row["enroll_denials"] >= 1
+        assert row["pdus_blocked_at_gate"] == row["pdus_injected"]
+        assert row["members_discovered"] == 0
+        assert not row["service_reached"]
+
+    def test_public_dif_is_the_degenerate_open_case(self):
+        from repro.experiments.e7_security import run_rina_outsider
+        row = run_rina_outsider("none", probes=5)
+        assert row["attacker_enrolled"]
+        assert row["service_reached"]
+
+    def test_insider_blocked_by_access_policy(self):
+        from repro.experiments.e7_security import run_rina_insider_acl
+        row = run_rina_insider_acl()
+        assert not row["rogue_flow_granted"]
+        assert row["rogue_failure"] == "access-denied"
+        assert row["allowed_flow_granted"]
+
+    def test_ip_world_fully_discoverable(self):
+        from repro.experiments.e7_security import run_ip_scan
+        row = run_ip_scan()
+        assert row["members_discovered"] >= 3
+        assert row["service_reached"]
+
+
+class TestE8Utilization:
+    def test_priority_scheduling_sustains_higher_load(self):
+        from repro.experiments.e8_utilization import run_point
+        fifo = run_point("fifo", 1.1, duration=3.0)
+        priority = run_point("priority", 1.1, duration=3.0)
+        assert not fifo["sla_met"]
+        assert priority["sla_met"]
+        assert priority["p99_ms"] < fifo["p99_ms"]
+
+    def test_all_schedulers_fine_at_low_load(self):
+        from repro.experiments.e8_utilization import run_point
+        for scheduler in ("fifo", "priority", "drr"):
+            row = run_point(scheduler, 0.5, duration=2.0)
+            assert row["sla_met"], row
+
+
+class TestE9PrivateAddresses:
+    def test_nat_world_breaks_where_dif_world_does_not(self):
+        from repro.experiments.e9_private_addresses import (run_ip_nat,
+                                                            run_rina)
+        nat = run_ip_nat(sites=2, hosts_per_site=2, flows_per_host=20,
+                         port_pool=24)
+        rina = run_rina(sites=2, hosts_per_site=2, flows_per_host=10)
+        # NAT: state grows, pool exhausts, inbound is dead
+        assert nat["border_state_total"] > 0
+        assert nat["pool_exhausted_drops"] > 0
+        assert nat["outbound_established"] < nat["outbound_attempted"]
+        assert nat["inbound_succeeded"] == 0 and nat["inbound_blocked"]
+        # DIF: identical private addresses everywhere, everything works
+        assert rina["site_addresses_identical"]
+        assert rina["outbound_established"] == rina["outbound_attempted"]
+        assert rina["inbound_succeeded"] == rina["inbound_attempts"]
+        assert rina["border_state_total"] == 0
+
+
+class TestA1Addressing:
+    def test_topological_aggregates_best(self):
+        from repro.experiments.a1_addressing import run_policy
+        flat = run_policy("flat", side=4)
+        topological = run_policy("topological", side=4)
+        mismatched = run_policy("mismatched", side=4)
+        assert topological["aggregated_mean"] < flat["aggregated_mean"]
+        assert topological["aggregated_mean"] < mismatched["aggregated_mean"]
+        for row in (flat, topological, mismatched):
+            assert row["lookups_consistent"]
+
+
+class TestA2EfcpPolicies:
+    def test_selective_beats_gobackn_on_retransmissions(self):
+        from repro.experiments.a2_efcp_policies import run_policy
+        selective = run_policy("selective", 0.1, total_bytes=60_000)
+        gobackn = run_policy("gobackn", 0.1, total_bytes=60_000)
+        assert selective["delivery_ratio"] == 1.0
+        assert gobackn["delivery_ratio"] == 1.0
+        assert selective["goodput_mbps"] >= gobackn["goodput_mbps"] * 0.8
+
+    def test_no_retx_loses_data(self):
+        from repro.experiments.a2_efcp_policies import run_policy
+        row = run_policy("none", 0.15, total_bytes=60_000)
+        assert row["delivery_ratio"] < 1.0
+        assert row["retransmissions"] == 0
+
+
+class TestE3Bursty:
+    def test_scoped_wins_under_bursty_fades(self):
+        from repro.experiments.e3_scoped_recovery import run_bursty
+        e2e = run_bursty("e2e", total_bytes=60_000)
+        scoped = run_bursty("scoped", total_bytes=60_000)
+        assert scoped["goodput_mbps"] > e2e["goodput_mbps"]
+        assert scoped["top_layer_retx"] == 0
+
+
+class TestA4HandoverStrategy:
+    def test_break_before_make_survives_but_pays(self):
+        from repro.experiments.e5_mobility import run_rina
+        mbb = [r for r in run_rina(make_before_break=True)
+               if r["move"] == "inter-region"][0]
+        bbm = [r for r in run_rina(make_before_break=False)
+               if r["move"] == "inter-region"][0]
+        assert mbb["flow_survived"] and bbm["flow_survived"]
+        assert bbm["outage_s"] > mbb["outage_s"]
+
+
+class TestMembershipBound:
+    def test_full_dif_denies_enrollment(self):
+        """§6.5: 'management policies that constrain the membership size'."""
+        from repro.core import (Dif, DifPolicies, add_shims, make_systems,
+                                run_until, shim_between)
+        from repro.sim.network import Network
+        network = Network(seed=3)
+        for name in ("a", "b", "c"):
+            network.add_node(name)
+        network.connect("a", "b")
+        network.connect("a", "c")
+        systems = make_systems(network)
+        add_shims(systems, network)
+        dif = Dif("small", DifPolicies(max_members=2))
+        a_ipcp = systems["a"].create_ipcp(dif)
+        a_ipcp.bootstrap()
+        for peer in ("b", "c"):
+            systems["a"].publish_ipcp("small", shim_between(network, "a", peer))
+            systems[peer].create_ipcp(dif)
+        outcomes = []
+        systems["b"].enroll("small", a_ipcp.name,
+                            shim_between(network, "a", "b"),
+                            done=lambda ok, r: outcomes.append((ok, r)))
+        run_until(network, lambda: outcomes, timeout=20)
+        assert outcomes[0][0]
+        systems["c"].enroll("small", a_ipcp.name,
+                            shim_between(network, "a", "c"),
+                            done=lambda ok, r: outcomes.append((ok, r)))
+        run_until(network, lambda: len(outcomes) == 2, timeout=20)
+        assert not outcomes[1][0]
+        assert dif.member_count() == 2
+
+
+class TestA5Depth:
+    def test_each_layer_costs_but_modestly(self):
+        from repro.experiments.a5_depth import run_depth
+        shallow = run_depth(1, total_bytes=60_000)
+        deep = run_depth(3, total_bytes=60_000)
+        assert shallow["completed"] and deep["completed"]
+        assert deep["goodput_mbps"] < shallow["goodput_mbps"]
+        assert (deep["wire_bytes_per_payload_byte"]
+                > shallow["wire_bytes_per_payload_byte"])
+        assert deep["goodput_mbps"] > 0.7 * shallow["goodput_mbps"]
+
+
+class TestE6IpBaseline:
+    def test_rip_world_matches_flat_dif_costs(self):
+        from repro.experiments.e6_scalability import run_config, run_ip_rip
+        rip = run_ip_rip(3, 3)
+        flat = run_config("flat", regions=3, hosts_per_region=3)
+        # same plant: the real-protocol IP world carries flat-sized state,
+        # its flap footprint reaches every system, and it pays periodic
+        # update chatter on top
+        assert rip["total_state"] == flat["total_state"]
+        assert rip["flap_update_scope"] == rip["systems"]
+        assert rip["updates_per_s"] > 0

@@ -1,0 +1,152 @@
+"""Tests for declarative policy specification (§8)."""
+
+import json
+
+import pytest
+
+from repro.core.addressing import FlatAddressing, TopologicalAddressing
+from repro.core.auth import (AllowList, ChallengeResponse, DenyAll, NoAuth,
+                             PresharedKey)
+from repro.core.names import ApplicationName
+from repro.core.policy_spec import (PolicySpecError, load_policy_file,
+                                    policies_from_spec, spec_from_policies)
+from repro.core.rmt import DrrScheduler, PriorityScheduler
+
+
+class TestCompilation:
+    def test_empty_spec_gives_defaults(self):
+        policies = policies_from_spec({})
+        assert isinstance(policies.addressing, FlatAddressing)
+        assert isinstance(policies.auth, NoAuth)
+        assert policies.scheduler == "fifo"
+
+    def test_full_spec_compiles(self):
+        policies = policies_from_spec({
+            "addressing": {"type": "topological"},
+            "auth": {"type": "challenge-response", "secret": "s"},
+            "access": {"type": "allow-list", "sources": ["ops", "billing/2"]},
+            "scheduler": {"type": "drr", "quantum": 3000},
+            "path_selector": "round-robin",
+            "keepalive": {"interval": 0.2, "dead_factor": 4},
+            "routing": {"spf_delay": 0.05, "refresh_interval": None},
+            "efcp": {"rto_min": 0.005},
+            "efcp_cubes": {"bulk": {"congestion": "aimd"}},
+            "qos_cubes": [{"name": "voice", "max_delay": 0.03,
+                           "priority": 0, "loss_tolerance": 0.05}],
+            "limits": {"max_members": 64},
+            "flooding": {"attempts": 6, "ack_timeout": 0.2},
+            "mgmt": {"timeout": 2.0, "enroll_attempts": 5},
+            "admission": {"type": "guaranteed-bandwidth",
+                          "capacity_bps": 1e7},
+        })
+        assert isinstance(policies.addressing, TopologicalAddressing)
+        assert isinstance(policies.auth, ChallengeResponse)
+        assert isinstance(policies.access, AllowList)
+        assert policies.scheduler == "drr"
+        assert policies.scheduler_kwargs == {"quantum": 3000}
+        assert isinstance(policies.make_scheduler(), DrrScheduler)
+        assert policies.keepalive_interval == 0.2
+        assert policies.refresh_interval is None
+        assert policies.efcp_overrides == {"rto_min": 0.005}
+        assert policies.efcp_cube_overrides["bulk"] == {"congestion": "aimd"}
+        assert "voice" in policies.qos_cubes
+        assert policies.qos_cubes["voice"].priority == 0
+        assert policies.max_members == 64
+        assert policies.flood_attempts == 6
+        assert policies.admission_capacity_bps == 1e7
+        # defaults still present alongside custom cubes
+        assert "reliable" in policies.qos_cubes
+
+    def test_scheduler_as_plain_string(self):
+        policies = policies_from_spec({"scheduler": "priority"})
+        assert isinstance(policies.make_scheduler(), PriorityScheduler)
+
+    def test_access_allow_list_parses_instances(self):
+        policies = policies_from_spec({
+            "access": {"type": "allow-list", "sources": ["svc/3"]}})
+        assert policies.access.allow(ApplicationName("svc", "3"),
+                                     ApplicationName("x"))
+
+    def test_psk_auth(self):
+        policies = policies_from_spec({"auth": {"type": "psk", "secret": "k"}})
+        assert isinstance(policies.auth, PresharedKey)
+
+    def test_deny_all_access(self):
+        policies = policies_from_spec({"access": {"type": "deny-all"}})
+        assert isinstance(policies.access, DenyAll)
+
+
+class TestValidation:
+    def test_unknown_section_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"frobnication": {}})
+
+    def test_unknown_auth_type_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"auth": {"type": "magic"}})
+
+    def test_psk_without_secret_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"auth": {"type": "psk"}})
+
+    def test_allow_list_without_sources_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"access": {"type": "allow-list"}})
+
+    def test_unknown_addressing_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"addressing": {"type": "astral"}})
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"scheduler": "bogus"})
+
+    def test_cube_without_name_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"qos_cubes": [{"priority": 1}]})
+
+    def test_admission_without_capacity_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"admission": {"type": "guaranteed-bandwidth"}})
+
+    def test_unknown_admission_rejected(self):
+        with pytest.raises(PolicySpecError):
+            policies_from_spec({"admission": {"type": "oracle"}})
+
+
+class TestRoundTripAndFiles:
+    def test_spec_round_trip_preserves_key_knobs(self):
+        original = policies_from_spec({
+            "addressing": {"type": "topological"},
+            "scheduler": {"type": "priority"},
+            "keepalive": {"interval": 0.5},
+            "efcp": {"rto_min": 0.01},
+            "admission": {"type": "guaranteed-bandwidth",
+                          "capacity_bps": 5e6},
+        })
+        spec = spec_from_policies(original)
+        rebuilt = policies_from_spec({k: v for k, v in spec.items()
+                                      if k != "lower_flow_cube"})
+        assert rebuilt.addressing.describe() == "topological"
+        assert rebuilt.scheduler == "priority"
+        assert rebuilt.keepalive_interval == 0.5
+        assert rebuilt.efcp_overrides["rto_min"] == 0.01
+        assert rebuilt.admission_capacity_bps == 5e6
+
+    def test_spec_is_json_serializable(self):
+        spec = spec_from_policies(policies_from_spec({}))
+        json.dumps(spec)
+
+    def test_load_policy_file(self, tmp_path):
+        path = tmp_path / "dif.json"
+        path.write_text(json.dumps({"scheduler": "drr",
+                                    "keepalive": {"interval": 0.3}}))
+        policies = load_policy_file(str(path))
+        assert policies.scheduler == "drr"
+        assert policies.keepalive_interval == 0.3
+
+    def test_load_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PolicySpecError):
+            load_policy_file(str(path))

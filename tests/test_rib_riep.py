@@ -1,0 +1,194 @@
+"""Unit tests for the RIB object tree and the RIEP protocol helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rib import Rib, RibError, join_path, split_path
+from repro.core.riep import (M_CONNECT, M_CONNECT_R, M_READ, M_WRITE,
+                             RESULT_DENIED, RESULT_OK, InvokeTable,
+                             RiepMessage, response_opcode)
+from repro.sim.engine import Engine
+
+
+class TestPaths:
+    def test_split_normalizes(self):
+        assert split_path("/a/b/c") == ("a", "b", "c")
+        assert split_path("a/b") == ("a", "b")
+        assert split_path("/a//b/") == ("a", "b")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RibError):
+            split_path("/")
+
+    @given(st.lists(st.text(alphabet=st.characters(
+        blacklist_characters="/", blacklist_categories=("Cs",)), min_size=1),
+        min_size=1, max_size=6))
+    def test_property_join_split_roundtrip(self, parts):
+        assert split_path(join_path(tuple(parts))) == tuple(parts)
+
+
+class TestRibOperations:
+    def test_create_then_read(self):
+        rib = Rib()
+        rib.create("/a/b", 42)
+        assert rib.read("/a/b") == 42
+
+    def test_create_duplicate_rejected(self):
+        rib = Rib()
+        rib.create("/a", 1)
+        with pytest.raises(RibError):
+            rib.create("/a", 2)
+
+    def test_write_upserts(self):
+        rib = Rib()
+        rib.write("/a", 1)
+        rib.write("/a", 2)
+        assert rib.read("/a") == 2
+
+    def test_read_missing_raises(self):
+        with pytest.raises(RibError):
+            Rib().read("/nope")
+
+    def test_read_or_default(self):
+        assert Rib().read_or("/nope", "dflt") == "dflt"
+
+    def test_delete_returns_value(self):
+        rib = Rib()
+        rib.write("/a", 9)
+        assert rib.delete("/a") == 9
+        assert not rib.exists("/a")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(RibError):
+            Rib().delete("/nope")
+
+    def test_delete_if_exists_is_silent(self):
+        Rib().delete_if_exists("/nope")
+
+    def test_list_returns_descendants_sorted(self):
+        rib = Rib()
+        rib.write("/dir/names/b", 1)
+        rib.write("/dir/names/a", 2)
+        rib.write("/dir/other", 3)
+        rib.write("/elsewhere", 4)
+        assert rib.list("/dir") == ["/dir/names/a", "/dir/names/b",
+                                    "/dir/other"]
+
+    def test_children_immediate_only(self):
+        rib = Rib()
+        rib.write("/d/x/deep", 1)
+        rib.write("/d/y", 2)
+        assert rib.children("/d") == ["x", "y"]
+
+    def test_items_pairs(self):
+        rib = Rib()
+        rib.write("/d/a", 1)
+        assert list(rib.items("/d")) == [("/d/a", 1)]
+
+    def test_size(self):
+        rib = Rib()
+        rib.write("/a", 1)
+        rib.write("/b", 2)
+        assert rib.size() == 2
+
+
+class TestRibSubscriptions:
+    def test_subscriber_sees_ops_under_prefix(self):
+        rib = Rib()
+        seen = []
+        rib.subscribe("/dir", lambda op, path, value: seen.append((op, path)))
+        rib.create("/dir/a", 1)
+        rib.write("/dir/a", 2)
+        rib.delete("/dir/a")
+        rib.write("/other", 3)
+        assert seen == [("create", "/dir/a"), ("write", "/dir/a"),
+                        ("delete", "/dir/a")]
+
+    def test_unsubscribe_stops_notifications(self):
+        rib = Rib()
+        seen = []
+        unsubscribe = rib.subscribe("/d", lambda *a: seen.append(a))
+        unsubscribe()
+        rib.write("/d/x", 1)
+        assert seen == []
+
+
+class TestRiepMessages:
+    def test_response_opcode_pairs(self):
+        assert response_opcode(M_CONNECT) == M_CONNECT_R
+        assert response_opcode(M_WRITE) == "M_WRITE_R"
+
+    def test_response_opcode_rejects_responses(self):
+        with pytest.raises(ValueError):
+            response_opcode(M_CONNECT_R)
+
+    def test_reply_echoes_identity(self):
+        request = RiepMessage(M_READ, obj="/x", invoke_id=9)
+        reply = request.reply(value=1, result=RESULT_DENIED)
+        assert reply.opcode == "M_READ_R"
+        assert reply.obj == "/x"
+        assert reply.invoke_id == 9
+        assert not reply.ok
+
+    def test_ok_flag(self):
+        assert RiepMessage(M_READ, result=RESULT_OK).ok
+
+    def test_estimate_size_grows_with_value(self):
+        small = RiepMessage(M_WRITE, obj="/x", value=1)
+        big = RiepMessage(M_WRITE, obj="/x", value=["y" * 100] * 5)
+        assert big.estimate_size() > small.estimate_size() + 400
+
+    def test_estimate_size_handles_all_value_shapes(self):
+        for value in (None, True, 3, 2.5, "s", b"b", [1, 2], (1,), {1, 2},
+                      {"k": "v"}, object()):
+            assert RiepMessage(M_WRITE, value=value).estimate_size() > 0
+
+
+class TestInvokeTable:
+    def test_response_dispatched_to_handler(self):
+        engine = Engine()
+        table = InvokeTable(engine)
+        seen = []
+        message = table.new_request(RiepMessage(M_READ, obj="/x"), seen.append)
+        assert message.invoke_id > 0
+        reply = message.reply(value=5)
+        assert table.dispatch_response(reply)
+        assert seen[0].value == 5
+
+    def test_stale_response_rejected(self):
+        engine = Engine()
+        table = InvokeTable(engine)
+        assert not table.dispatch_response(RiepMessage("M_READ_R", invoke_id=99))
+
+    def test_timeout_delivers_none(self):
+        engine = Engine()
+        table = InvokeTable(engine, default_timeout=1.0)
+        seen = []
+        table.new_request(RiepMessage(M_READ), seen.append)
+        engine.run(until=2.0)
+        assert seen == [None]
+        assert table.pending_count() == 0
+
+    def test_response_cancels_timeout(self):
+        engine = Engine()
+        table = InvokeTable(engine, default_timeout=1.0)
+        seen = []
+        message = table.new_request(RiepMessage(M_READ), seen.append)
+        table.dispatch_response(message.reply())
+        engine.run(until=2.0)
+        assert len(seen) == 1 and seen[0] is not None
+
+    def test_custom_timeout(self):
+        engine = Engine()
+        table = InvokeTable(engine, default_timeout=10.0)
+        seen = []
+        table.new_request(RiepMessage(M_READ), seen.append, timeout=0.5)
+        engine.run(until=1.0)
+        assert seen == [None]
+
+    def test_invoke_ids_unique(self):
+        engine = Engine()
+        table = InvokeTable(engine)
+        ids = {table.new_request(RiepMessage(M_READ), lambda r: None).invoke_id
+               for _ in range(10)}
+        assert len(ids) == 10
