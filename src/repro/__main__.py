@@ -1,4 +1,4 @@
-"""Command-line entry point: run examples and experiments by name.
+"""Command-line entry point: run examples, experiments, and scenarios.
 
 Usage::
 
@@ -6,10 +6,19 @@ Usage::
     python -m repro e1              # run one experiment, print its table
     python -m repro e3 e4           # several in sequence
     python -m repro all             # the whole battery
+
+    python -m repro scenarios list
+    python -m repro scenarios run [--seed N] [--stack rina|ip|both] \
+        fault-storm spec.json gen:3
+
+``scenarios run`` executes each spec on the requested stacks **twice**
+and verifies the two runs produce byte-identical traces (the determinism
+contract); the exit code is non-zero if any run diverges.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import Callable, Dict, List
 
@@ -94,16 +103,116 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _load_scenarios(names: List[str], seed: int) -> List:
+    """Resolve CLI scenario references: canned names, ``.json`` spec
+    files, or ``gen:<count>`` batches from the seeded generator."""
+    from .scenarios import Scenario, canned, generate_specs
+    scenarios = []
+    for name in names:
+        if name.startswith("gen:"):
+            scenarios.extend(generate_specs(seed, int(name[len("gen:"):])))
+        elif name.endswith(".json"):
+            with open(name) as handle:
+                spec = Scenario.from_dict(json.load(handle))
+            spec.validate()   # inside the caller's try: a structurally
+            scenarios.append(spec)   # bad spec is a load error, not a crash
+        else:
+            scenarios.append(canned(name))
+    return scenarios
+
+
+def scenarios_main(argv: List[str]) -> int:
+    """The ``scenarios`` subcommand."""
+    from .scenarios import CANNED, ScenarioRunner
+    if not argv or argv[0] == "list":
+        print("canned scenarios:")
+        for name in sorted(CANNED):
+            print(f"  {name:16s} {CANNED[name]().description}")
+        print("\nalso accepted by `run`: a spec .json file, gen:<count>")
+        return 0
+    if argv[0] != "run":
+        print(f"unknown scenarios subcommand {argv[0]!r} (list|run)",
+              file=sys.stderr)
+        return 2
+    args = argv[1:]
+    seed, stacks, names = 0, ("rina", "ip"), []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg in ("--seed", "--stack"):
+            index += 1
+            if index >= len(args):
+                print(f"{arg} requires a value", file=sys.stderr)
+                return 2
+            value = args[index]
+            if arg == "--seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    print(f"--seed requires an integer, got {value!r}",
+                          file=sys.stderr)
+                    return 2
+            else:
+                if value not in ("rina", "ip", "both"):
+                    print(f"unknown stack {value!r} (rina|ip|both)",
+                          file=sys.stderr)
+                    return 2
+                stacks = ("rina", "ip") if value == "both" else (value,)
+        else:
+            names.append(arg)
+        index += 1
+    if not names:
+        print("scenarios run: no spec given (canned name, .json, gen:N)",
+              file=sys.stderr)
+        return 2
+    try:
+        scenarios = _load_scenarios(names, seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load scenario spec: {exc}", file=sys.stderr)
+        return 2
+    rows, divergent = [], 0
+    for scenario in scenarios:
+        for stack in stacks:
+            first = ScenarioRunner(scenario, seed=seed)
+            metrics = first.run(stack)
+            second = ScenarioRunner(scenario, seed=seed)
+            second.run(stack)
+            deterministic = first.trace == second.trace
+            divergent += 0 if deterministic else 1
+            rows.append({
+                "scenario": metrics["scenario"],
+                "stack": stack,
+                "echo": f"{metrics['echo_delivered']}/{metrics['echo_sent']}",
+                "goodput_mbps": metrics["goodput_mbps"],
+                "worst_outage_s": metrics["worst_outage_s"],
+                "faults": len(scenario.faults),
+                "deterministic": deterministic,
+            })
+    print(format_table(rows, title=f"scenarios (seed={seed}, two runs each)"))
+    if divergent:
+        print(f"\nDETERMINISM VIOLATION in {divergent} run(s)",
+              file=sys.stderr)
+        return 1
+    print("\nall runs byte-identical across repeats")
+    return 0
+
+
 def main(argv: List[str]) -> int:
     """Entry point; returns a process exit code."""
     if not argv:
         print("repro — 'Networking is IPC' (Day/Matta/Mattar 2008), "
               "executable reproduction\n")
-        print("usage: python -m repro <experiment> [...] | all\n")
+        print("usage: python -m repro <experiment> [...] | all\n"
+              "       python -m repro scenarios list|run ...\n")
         for key, (title, _fn) in EXPERIMENTS.items():
             print(f"  {key}   {title}")
         print("\n(see also: pytest benchmarks/ --benchmark-only, examples/)")
         return 0
+    if argv[0] == "scenarios":
+        return scenarios_main(argv[1:])
     wanted = list(EXPERIMENTS) if argv == ["all"] else argv
     unknown = [key for key in wanted if key not in EXPERIMENTS]
     if unknown:

@@ -22,9 +22,11 @@ class FileSink:
     """Receives a transfer and signals completion."""
 
     def __init__(self, system: System, name: str = "file-sink",
-                 dif_names: Optional[List[str]] = None) -> None:
+                 dif_names: Optional[List[str]] = None,
+                 on_chunk: Optional[Callable[[float, int], None]] = None) -> None:
         self.system = system
         self.app_name = ApplicationName(name)
+        self.on_chunk = on_chunk
         self.bytes_received = 0
         self.transfers_completed = 0
         self.completion_times: List[float] = []
@@ -40,6 +42,8 @@ class FileSink:
                 self.completion_times.append(self.system.engine.now)
             else:
                 self.bytes_received += len(data)
+                if self.on_chunk is not None:
+                    self.on_chunk(self.system.engine.now, len(data))
         message_flow.set_message_receiver(on_message)
         self._flows.append(message_flow)
 

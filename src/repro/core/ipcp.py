@@ -253,15 +253,22 @@ class Ipcp:
     # Inbound demultiplexing
     # ------------------------------------------------------------------
     def _on_lower_pdu(self, pdu: Pdu, port_id: int) -> None:
-        self._last_heard[port_id] = self.engine.now
         port = self.rmt._ports.get(port_id)
-        if port is not None and not port.alive:
+        if port is None:
+            # a flow this IPCP no longer owns — e.g. the peer's half of an
+            # attachment discarded by crash().  Nothing may enter the DIF
+            # through a ghost port (it would bypass the gate below), and
+            # it must not repopulate the liveness table either.
+            self.tracer.count("security.ghost-port-pdu")
+            return
+        self._last_heard[port_id] = self.engine.now
+        if not port.alive:
             self._revive_port(port_id)
         # Security gate (§6.1): an attachment whose peer has not completed
         # enrollment may only speak the enrollment protocol.  Everything
         # else — data injection, management spoofing, relaying attempts —
         # is dropped before it touches the DIF.
-        if port is not None and port.peer_addr is None:
+        if port.peer_addr is None:
             is_enrollment = (isinstance(pdu, ManagementPdu)
                              and pdu.dst_addr is None
                              and pdu.message.obj.startswith(ENROLL_OBJ))
@@ -440,6 +447,44 @@ class Ipcp:
             self.remove_lower_flow(port_id)
         self.address = None
         self._keepalive_task.stop()
+
+    # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Abrupt failure: lose all DIF state *without* the graceful
+        departure announcement of :meth:`leave`.  Neighbors find out the
+        hard way — keepalive timeout — exactly as with a real power loss.
+        """
+        if self.address is not None:
+            self.dif.remove_member(self.address)
+        # identity and routing state go first: with no address, dropping
+        # the attachments below cannot originate LSA withdrawals toward
+        # still-reachable neighbors (that would be a graceful departure)
+        self.address = None
+        self.routing.reset()
+        for port_id in list(self._lower_flows):
+            self.remove_lower_flow(port_id)
+        self._keepalive_task.stop()
+        if self._refresh_task is not None:
+            self._refresh_task.stop()
+        self.tracer.count("ipcp.crash")
+        self.tracer.log(self.engine.now, "ipcp-crash", ipcp=str(self.name))
+
+    def restart(self) -> None:
+        """Re-arm the periodic machinery after a :meth:`crash`.
+
+        The IPCP comes back unenrolled (no address, empty LSDB); the owner
+        must re-enroll it via :meth:`repro.core.system.System.enroll` once
+        connectivity is restored.
+        """
+        policies = self.dif.policies
+        if not self._keepalive_task.running:
+            self._keepalive_task.start(
+                initial_delay=policies.keepalive_interval / 2)
+        if self._refresh_task is not None and not self._refresh_task.running:
+            self._refresh_task.start()
+        self.tracer.log(self.engine.now, "ipcp-restart", ipcp=str(self.name))
 
     # ------------------------------------------------------------------
     def _on_table_change(self, table: Dict[Address, Address]) -> None:

@@ -121,6 +121,18 @@ class LinkStateRouting:
         del self._adjacencies[neighbor]
         self._originate()
 
+    def reset(self) -> None:
+        """Forget every learned LSA, adjacency, and route (crash).
+
+        ``_own_seq`` deliberately survives: if the member re-enrolls and is
+        handed a recycled address, its fresh LSAs must outrank the stale
+        ones other members still hold for that address.
+        """
+        self._lsdb.clear()
+        self._adjacencies.clear()
+        self._next_hop.clear()
+        self._spf_timer.cancel()
+
     def adjacencies(self) -> Dict[Address, float]:
         """Current local adjacency set (copy)."""
         return dict(self._adjacencies)

@@ -71,12 +71,22 @@ def delivery_gap(times: Sequence[float], at: float) -> float:
     The standard outage metric of the failover/mobility experiments: with
     periodic traffic, the max gap bounds how long the path was unusable
     (in-flight deliveries right after ``at`` do not mask the outage).
+
+    When ``at`` precedes the first delivery there is no previous delivery
+    to anchor the first gap: it is measured from ``at`` itself — the wait
+    from the instant of interest until delivery starts counts as an
+    outage and sets a floor on the result — and only deliveries strictly
+    before ``at`` (beyond the float tolerance) may serve as the anchor,
+    so a delivery on the wrong side of ``at`` can never stand in for a
+    working path.  Input order is irrelevant (times are sorted here).
     """
-    after = [t for t in times if t >= at - 1e-9]
+    eps = 1e-9
+    ordered = sorted(times)
+    after = [t for t in ordered if t >= at - eps]
     if not after:
         return float("inf")
-    previous = max([t for t in times if t < at], default=at)
-    gap = after[0] - previous
+    before = [t for t in ordered if t < at - eps]
+    gap = max(0.0, after[0] - (before[-1] if before else at))
     for earlier, later in zip(after, after[1:]):
         gap = max(gap, later - earlier)
     return gap

@@ -35,55 +35,27 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from ..apps.filetransfer import FileSender, FileSink
-from ..core import (RELIABLE, Dif, DifPolicies, Orchestrator, add_shims,
-                    build_dif_over, make_systems, run_until, shim_between)
-from ..sim.link import GilbertElliott, UniformLoss
-from ..sim.network import Network
+from ..core import RELIABLE, run_until
+from ..scenarios.canned import E3_WIRED_BPS as WIRED_BPS
+from ..scenarios.canned import E3_WIRELESS_BPS as WIRELESS_BPS
+from ..scenarios.canned import e3_scenario
+from ..scenarios.runner import build_rina_stack
+from ..sim.link import GilbertElliott
 from .common import goodput_bps
-
-WIRED_BPS = 5e7
-WIRELESS_BPS = 2e7
 
 
 def build_scenario(config: str, seed: int = 1, wired_delay: float = 0.06):
-    """Build the stack; returns (network, systems, loss_knob)."""
-    if config not in ("e2e", "scoped"):
-        raise ValueError(f"unknown configuration {config!r}")
-    network = Network(seed=seed)
-    for name in ("sender", "border", "mobile"):
-        network.add_node(name)
-    network.connect("sender", "border", capacity_bps=WIRED_BPS,
-                    delay=wired_delay)
-    loss_model = UniformLoss(0.0)   # loss injected after the stack settles
-    network.connect("border", "mobile", capacity_bps=WIRELESS_BPS,
-                    delay=0.004, loss=loss_model)
-    systems = make_systems(network)
-    add_shims(systems, network)
-    orchestrator = Orchestrator(network)
+    """Build the stack; returns (network, systems, loss_knob).
 
-    internet_policies = DifPolicies(
-        keepalive_interval=2.0, dead_factor=8,
-        efcp_overrides={"rto_min": 0.2, "rto_initial": 0.3,
-                        "initial_credit": 64},
-        lower_flow_cube=RELIABLE)
-    internet = Dif("internet", internet_policies)
-
-    if config == "scoped":
-        wireless_policies = DifPolicies(
-            keepalive_interval=2.0, dead_factor=8,
-            efcp_overrides={"rto_min": 0.005, "rto_initial": 0.03,
-                            "rto_max": 0.2, "initial_credit": 128})
-        wireless = Dif("wifi", wireless_policies)
-        build_dif_over(orchestrator, wireless, systems, adjacencies=[
-            ("border", "mobile", shim_between(network, "border", "mobile"))])
-        mobile_lower = "wifi"
-    else:
-        mobile_lower = shim_between(network, "border", "mobile")
-
-    build_dif_over(orchestrator, internet, systems, adjacencies=[
-        ("sender", "border", shim_between(network, "sender", "border")),
-        ("border", "mobile", mobile_lower)])
-    orchestrator.run(timeout=60)
+    The topology and DIF stack are the declarative scenario spec
+    :func:`repro.scenarios.canned.e3_scenario`; this experiment keeps only
+    the loss knob and the measurement logic.
+    """
+    spec = e3_scenario(config, wired_delay=wired_delay)
+    built = build_rina_stack(spec, seed=seed)
+    network, systems = built.network, built.systems
+    # loss injected after the stack settles, through the radio's loss model
+    loss_model = network.link_between("border", "mobile").loss
     return network, systems, loss_model
 
 

@@ -24,8 +24,10 @@ from typing import Any, Dict, List, Optional
 
 from ..apps.echo import EchoClient, EchoServer
 from ..baselines import IpFabric
-from ..core import (RELIABLE, Dif, DifPolicies, Orchestrator, add_shims,
-                    build_dif_over, make_systems, run_until, shim_name_for)
+from ..core import run_until
+from ..scenarios.canned import e4_scenario
+from ..scenarios.faults import FaultContext, make_injector
+from ..scenarios.runner import build_rina_stack, build_topology
 from ..sim.network import Network
 from .common import delivery_gap
 
@@ -35,26 +37,24 @@ TOTAL_MESSAGES = 120
 
 
 def _two_link_topology(seed: int) -> Network:
+    """The baseline stacks reuse the scenario spec's physical plant."""
     network = Network(seed=seed)
-    network.add_node("host")
-    network.add_node("provider")
-    network.connect("host", "provider", name="uplink#a", delay=0.005)
-    network.connect("host", "provider", name="uplink#b", delay=0.005)
+    build_topology(e4_scenario().topology, network)
     return network
 
 
 def run_rina(keepalive_interval: float = 0.2, seed: int = 1) -> Dict[str, Any]:
-    """The IPC architecture side: PoA failover below a surviving flow."""
-    network = _two_link_topology(seed)
-    systems = make_systems(network)
-    add_shims(systems, network)
-    policies = DifPolicies(keepalive_interval=keepalive_interval, dead_factor=3)
-    dif = Dif("net", policies)
-    orchestrator = Orchestrator(network)
-    build_dif_over(orchestrator, dif, systems, adjacencies=[
-        ("host", "provider", shim_name_for("uplink#a")),
-        ("host", "provider", shim_name_for("uplink#b"))])
-    orchestrator.run(timeout=30)
+    """The IPC architecture side: PoA failover below a surviving flow.
+
+    The stack is the declarative spec
+    :func:`repro.scenarios.canned.e4_scenario`; the primary-link kill goes
+    through the scenario harness's link-flap injector (``duration=None``
+    = permanent), and only the measurement logic stays bespoke.
+    """
+    spec = e4_scenario(keepalive_interval)
+    built = build_rina_stack(spec, seed=seed)
+    network, systems = built.network, built.systems
+    policies = built.layers["net"].policies
 
     server = EchoServer(systems["provider"])
     network.run(until=network.engine.now + 0.5)
@@ -72,9 +72,10 @@ def run_rina(keepalive_interval: float = 0.2, seed: int = 1) -> Dict[str, Any]:
     client.message_flow.set_message_receiver(on_reply)
 
     start = network.engine.now
-    fail_at = start + FAIL_AT
-    link = network.links["uplink#a"]
-    network.engine.call_later(FAIL_AT, link.fail)
+    # the spec's fault schedule is the single source of the failure time
+    fail_at = start + spec.faults[0].at
+    make_injector(spec.faults[0]).arm(FaultContext(network, built=built),
+                                      start)
 
     sent = [0]
 

@@ -36,8 +36,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..apps.echo import EchoClient, EchoServer
 from ..baselines import HomeAgent, IpFabric, MobileNode
-from ..core import (Dif, DifPolicies, Orchestrator, add_shims, build_dif_over,
-                    make_systems, run_until, shim_name_for)
+from ..core import Dif, run_until, shim_name_for
+from ..scenarios.canned import e5_scenario
+from ..scenarios.runner import build_rina_stack, build_topology
 from ..sim.network import Network
 from .common import delivery_gap
 
@@ -49,20 +50,9 @@ SEND_PERIOD = 0.05
 
 
 def build_physical(seed: int = 1) -> Network:
-    """The shared physical plant."""
+    """The shared physical plant (from the declarative E5 scenario spec)."""
     network = Network(seed=seed)
-    for name in ("m", "bs1", "bs2", "bs3", "bs4", "r1", "r2", "b", "c"):
-        network.add_node(name)
-    for bs in ("bs1", "bs2", "bs3", "bs4"):
-        network.connect("m", bs, name=f"radio:{bs}", capacity_bps=2e7,
-                        delay=0.003)
-    network.connect("bs1", "r1", name="bs1--r1", delay=0.002)
-    network.connect("bs2", "r1", name="bs2--r1", delay=0.002)
-    network.connect("bs3", "r2", name="bs3--r2", delay=0.002)
-    network.connect("bs4", "r2", name="bs4--r2", delay=0.002)
-    network.connect("r1", "b", name="r1--b", delay=0.01)
-    network.connect("r2", "b", name="r2--b", delay=0.01)
-    network.connect("c", "b", name="c--b", delay=0.01)
+    build_topology(e5_scenario().topology, network)
     return network
 
 
@@ -73,30 +63,14 @@ class RinaMobilityScenario:
     """Builds the three-DIF stack and drives the two moves."""
 
     def __init__(self, seed: int = 1) -> None:
-        self.network = build_physical(seed)
-        self.systems = make_systems(self.network)
-        add_shims(self.systems, self.network)
-        region_policies = dict(keepalive_interval=0.1, dead_factor=3,
-                               spf_delay=0.01, refresh_interval=None)
-        metro_policies = dict(keepalive_interval=0.4, dead_factor=3,
-                              spf_delay=0.01, refresh_interval=None)
-        self.region1 = Dif("region1", DifPolicies(**region_policies))
-        self.region2 = Dif("region2", DifPolicies(**region_policies))
-        self.metro = Dif("metro", DifPolicies(**metro_policies))
-        orchestrator = Orchestrator(self.network)
-        build_dif_over(orchestrator, self.region1, self.systems, adjacencies=[
-            ("bs1", "r1", shim_name_for("bs1--r1")),
-            ("bs2", "r1", shim_name_for("bs2--r1")),
-            ("m", "bs1", shim_name_for("radio:bs1"))])
-        build_dif_over(orchestrator, self.region2, self.systems, adjacencies=[
-            ("bs3", "r2", shim_name_for("bs3--r2")),
-            ("bs4", "r2", shim_name_for("bs4--r2"))])
-        build_dif_over(orchestrator, self.metro, self.systems, adjacencies=[
-            ("r1", "b", shim_name_for("r1--b")),
-            ("r2", "b", shim_name_for("r2--b")),
-            ("c", "b", shim_name_for("c--b")),
-            ("m", "r1", "region1")])
-        orchestrator.run(timeout=60)
+        # Fig 5's plant and three-DIF stack, re-expressed as the canned
+        # scenario spec; this class keeps the move orchestration.
+        built = build_rina_stack(e5_scenario(), seed=seed)
+        self.network = built.network
+        self.systems = built.systems
+        self.region1 = built.layers["region1"]
+        self.region2 = built.layers["region2"]
+        self.metro = built.layers["metro"]
         # prepare the not-yet-used attachment points: base stations must be
         # reachable over their radio shims for the mobile to attach later
         self.systems["bs2"].publish_ipcp("region1", shim_name_for("radio:bs2"))

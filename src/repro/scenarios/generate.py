@@ -1,0 +1,150 @@
+"""Seeded random sampling of valid scenario specs.
+
+Turns scenario coverage from O(hand-written files) into O(combinations):
+``generate_specs(seed, count)`` yields ``count`` independent, *valid*
+specs — topology family, DIF depth, workload mix, and fault schedule all
+sampled — with the fault kinds cycled so any batch of ≥ 5 specs exercises
+every injector.  Sampling is pure (one ``random.Random`` per spec, no
+global state), so the same seed always yields the same specs: the
+determinism tests lean on this to fingerprint whole fuzz batches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..sim.network import Network
+from .runner import build_topology
+from .spec import (FAULT_KINDS, FaultSpec, LinkSpec, Scenario, TopologySpec,
+                   WorkloadSpec)
+
+_FAMILIES = ("chain", "star", "tree", "grid", "random")
+_LINK_FAULTS = ("link-flap", "link-degrade", "congestion")
+
+
+def _sample_topology(rng: random.Random) -> TopologySpec:
+    family = rng.choice(_FAMILIES)
+    if family == "chain":
+        params = {"count": rng.randint(3, 6)}
+    elif family == "star":
+        params = {"leaves": rng.randint(3, 5)}
+    elif family == "tree":
+        params = {"depth": 2, "arity": 2}
+    elif family == "grid":
+        params = {"rows": 2, "cols": rng.randint(2, 3)}
+    else:
+        params = {"count": rng.randint(4, 6), "edge_factor": 1.4}
+    return TopologySpec(family=family, params=params,
+                        link={"capacity_bps": rng.choice([2e7, 5e7, 1e8]),
+                              "delay": rng.choice([0.001, 0.003, 0.01])})
+
+
+def _freeze_topology(topology: TopologySpec, seed: int):
+    """Realize the sampled family once, off to the side, and freeze it
+    into an ``explicit`` spec (nodes + links listed one by one).
+
+    Frozen specs are self-contained: the runner's seed cannot change the
+    structure a fault schedule targets (a ``random``-family graph would
+    otherwise realize differently under a different master seed)."""
+    network = Network(seed=seed)
+    nodes = build_topology(topology, network)
+    links = []
+    for name, link in network.links.items():
+        a, b = name.split("#")[0].split("--", 1)
+        links.append(LinkSpec(a=a, b=b, capacity_bps=link.capacity_bps,
+                              delay=link.delay))
+    frozen = TopologySpec(family="explicit", nodes=list(nodes), links=links)
+    return frozen, nodes, [
+        f"{spec.a}--{spec.b}#{index}" for index, spec in enumerate(links)]
+
+
+def _sample_workloads(rng: random.Random, nodes: Sequence[str],
+                      duration: float) -> List[WorkloadSpec]:
+    workloads = []
+    count = rng.randint(1, 2)
+    for _ in range(count):
+        client, server = rng.sample(list(nodes), 2)
+        kind = rng.choice(("echo", "echo", "transfer", "stream"))
+        if kind == "echo":
+            workloads.append(WorkloadSpec(
+                kind="echo", client=client, server=server, start=1.0,
+                period=0.05, count=min(80, int((duration - 1.5) / 0.05)),
+                size=rng.choice([120, 200])))
+        elif kind == "transfer":
+            workloads.append(WorkloadSpec(
+                kind="transfer", client=client, server=server, start=1.0,
+                bytes=rng.choice([20_000, 40_000])))
+        else:
+            workloads.append(WorkloadSpec(
+                kind="stream", client=client, server=server, start=1.0,
+                period=0.04, size=300))
+    return workloads
+
+
+def _sample_fault(rng: random.Random, kind: str, nodes: Sequence[str],
+                  links: Sequence[str],
+                  endpoints: Sequence[str]) -> FaultSpec:
+    at = round(rng.uniform(1.5, 3.0), 3)
+    duration = round(rng.uniform(0.6, 1.5), 3)
+    if kind == "node-crash":
+        candidates = [n for n in nodes if n not in endpoints]
+        if not candidates:
+            kind = "link-flap"   # fall back: every node hosts an endpoint
+        else:
+            return FaultSpec(kind="node-crash",
+                             target=rng.choice(candidates),
+                             at=at, duration=duration + 0.5)
+    if kind == "partition":
+        size = rng.randint(1, max(1, min(2, len(nodes) - 1)))
+        group = rng.sample(list(nodes), size)
+        return FaultSpec(kind="partition", target=group, at=at,
+                         duration=duration)
+    target = rng.choice(list(links))
+    if kind == "link-degrade":
+        return FaultSpec(kind="link-degrade", target=target, at=at,
+                         duration=duration,
+                         peak_loss=round(rng.uniform(0.2, 0.6), 3),
+                         delay_factor=rng.choice([2.0, 4.0]), steps=3)
+    if kind == "congestion":
+        return FaultSpec(kind="congestion", target=target, at=at,
+                         duration=duration,
+                         capacity_factor=rng.choice([4.0, 8.0, 16.0]))
+    return FaultSpec(kind="link-flap", target=target, at=at,
+                     duration=duration,
+                     flaps=rng.choice([1, 1, 2]), period=duration + 1.0)
+
+
+def generate_scenario(seed: int, index: int = 0) -> Scenario:
+    """Sample one valid scenario.  Pure in (seed, index)."""
+    rng = random.Random(seed * 1_000_003 + index)
+    family = _sample_topology(rng)
+    topology, nodes, links = _freeze_topology(family,
+                                              seed=rng.randrange(2 ** 31))
+    duration = round(rng.uniform(6.0, 8.0), 3)
+    workloads = _sample_workloads(rng, nodes, duration)
+    endpoints = [w.client for w in workloads] + [w.server for w in workloads]
+    # first fault kind cycles deterministically with the index so a batch
+    # of >= len(FAULT_KINDS) specs covers every injector
+    kinds = [FAULT_KINDS[index % len(FAULT_KINDS)]]
+    for _ in range(rng.randint(0, 2)):
+        kinds.append(rng.choice(FAULT_KINDS))
+    faults = [_sample_fault(rng, kind, nodes, links, endpoints)
+              for kind in kinds]
+    depth = rng.choice([1, 1, 2])
+    scenario = Scenario(
+        name=f"gen-{seed}-{index}",
+        topology=topology,
+        dif_depth=depth,
+        workloads=workloads,
+        faults=faults,
+        duration=duration,
+        description=(f"generated: {family.family} depth={depth} "
+                     f"faults={[f.kind for f in faults]}"))
+    scenario.validate(nodes)
+    return scenario
+
+
+def generate_specs(seed: int, count: int = 20) -> List[Scenario]:
+    """A batch of independent specs; ≥ 5 of them cover every injector."""
+    return [generate_scenario(seed, index) for index in range(count)]

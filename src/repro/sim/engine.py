@@ -33,20 +33,28 @@ class Event:
     when popped (lazy deletion), which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label",
+                 "_expired", "_on_cancel")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None],
-                 args: Tuple[Any, ...], label: str = "") -> None:
+                 args: Tuple[Any, ...], label: str = "",
+                 on_cancel: Optional[Callable[["Event"], None]] = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.label = label
+        self._expired = False      # popped from the heap (executed or skipped)
+        self._on_cancel = on_cancel
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
+        if self.cancelled or self._expired:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self)
 
     @property
     def active(self) -> bool:
@@ -78,6 +86,7 @@ class Engine:
         self._stopped = False
         self._events_processed = 0
         self._max_events: Optional[int] = None
+        self._live = 0   # non-cancelled events currently in the heap
 
     # ------------------------------------------------------------------
     # Clock
@@ -93,8 +102,15 @@ class Engine:
         return self._events_processed
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still in the queue."""
-        return sum(1 for ev in self._heap if ev.active)
+        """Number of live (non-cancelled) events still in the queue.
+
+        O(1): a live-event counter is maintained on schedule/cancel/pop
+        instead of scanning the heap (which grows with lazy deletions).
+        """
+        return self._live
+
+    def _note_cancel(self, _event: Event) -> None:
+        self._live -= 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,8 +124,10 @@ class Engine:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at t={when:.6f}, clock is at t={self._now:.6f}")
-        event = Event(when, next(self._seq), callback, args, label=label)
+        event = Event(when, next(self._seq), callback, args, label=label,
+                      on_cancel=self._note_cancel)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def call_later(self, delay: float, callback: Callable[..., None],
@@ -152,6 +170,7 @@ class Engine:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    event._expired = True
                     continue
                 if until is not None and event.time > until:
                     self._now = until
@@ -159,6 +178,8 @@ class Engine:
                 if budget is not None and budget <= 0:
                     break
                 heapq.heappop(self._heap)
+                event._expired = True
+                self._live -= 1
                 self._now = event.time
                 self._events_processed += 1
                 if budget is not None:

@@ -73,11 +73,22 @@ class Network:
         node_b.add_interface(link.ends[1])
         return link
 
+    def endpoints_of(self, link: Link) -> Tuple[str, str]:
+        """Node names at the two ends of ``link``."""
+        return (self._owner_of(link.ends[0]), self._owner_of(link.ends[1]))
+
     def link_between(self, a: str, b: str) -> Link:
-        """First link whose name encodes the pair ``a``/``b`` (either order)."""
+        """First link joining ``a`` and ``b`` (either order).
+
+        The canonical ``a--b#seq`` name is tried first (cheap); links with
+        custom names are found by their actual attachment points.
+        """
         for name, link in self.links.items():
             base = name.split("#")[0]
             if base in (f"{a}--{b}", f"{b}--{a}"):
+                return link
+        for link in self.links.values():
+            if set(self.endpoints_of(link)) == {a, b}:
                 return link
         raise KeyError(f"no link between {a!r} and {b!r}")
 

@@ -73,6 +73,21 @@ class TestDeliveryGap:
         times = [i * 0.05 for i in range(100)]
         assert delivery_gap(times, 2.0) == pytest.approx(0.05)
 
+    def test_at_before_first_delivery_measures_from_at(self):
+        # regression: when ``at`` precedes the first delivery, the wait
+        # from ``at`` until delivery starts is itself an outage and sets
+        # a floor on the result
+        assert delivery_gap([3.0, 3.05, 3.1], 1.0) == pytest.approx(2.0)
+        # ...without discarding larger gaps later in the run
+        assert delivery_gap([3.0, 3.05, 9.0], 2.5) == pytest.approx(5.95)
+        assert delivery_gap([3.0, 3.05, 4.0], 2.5) == pytest.approx(0.95)
+
+    def test_at_before_first_delivery_unsorted_input(self):
+        assert delivery_gap([3.1, 3.0, 3.05], 1.0) == pytest.approx(2.0)
+
+    def test_delivery_exactly_at_at_anchors_at_at(self):
+        assert delivery_gap([2.0, 2.05], 2.0) == pytest.approx(0.05)
+
 
 class TestEfcpDelayedAcks:
     def test_ack_delay_batches_acks(self):

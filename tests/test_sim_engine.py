@@ -158,6 +158,61 @@ class TestRunControl:
         event.cancel()
         assert engine.pending_count() == 1
 
+    def test_pending_count_double_cancel_counts_once(self):
+        engine = Engine()
+        event = engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert engine.pending_count() == 1
+
+    def test_pending_count_after_execution(self):
+        engine = Engine()
+        event = engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.run(max_events=1)
+        assert engine.pending_count() == 1
+        # cancelling an already-executed event must not corrupt the counter
+        event.cancel()
+        assert engine.pending_count() == 1
+
+    def _live_scan(self, engine):
+        return sum(1 for ev in engine._heap if ev.active and not ev._expired)
+
+    def test_pending_counter_matches_heap_scan(self):
+        # the O(1) counter must agree with a full heap scan through an
+        # arbitrary schedule/cancel/run interleaving
+        engine = Engine()
+        events = [engine.call_at(float(i), lambda: None) for i in range(10)]
+        assert engine.pending_count() == self._live_scan(engine) == 10
+        for event in events[::3]:
+            event.cancel()
+        assert engine.pending_count() == self._live_scan(engine)
+        engine.run(max_events=3)
+        assert engine.pending_count() == self._live_scan(engine)
+        events[8].cancel()
+        events[8].cancel()
+        assert engine.pending_count() == self._live_scan(engine)
+        engine.run()
+        assert engine.pending_count() == self._live_scan(engine) == 0
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0,
+                                        allow_nan=False),
+                              st.booleans()), min_size=1, max_size=40))
+    def test_property_pending_counter_consistency(self, plan):
+        engine = Engine()
+        events = []
+        for when, cancel in plan:
+            events.append((engine.call_at(when, lambda: None), cancel))
+        for event, cancel in events:
+            if cancel:
+                event.cancel()
+        assert engine.pending_count() == self._live_scan(engine)
+        engine.run(max_events=len(events) // 2)
+        assert engine.pending_count() == self._live_scan(engine)
+        engine.run()
+        assert engine.pending_count() == self._live_scan(engine) == 0
+
 
 class TestTimer:
     def test_fires_after_delay(self):
