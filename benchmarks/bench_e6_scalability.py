@@ -1,9 +1,50 @@
-"""E6 — §6.5: routing state and update scope, flat vs recursive (size sweep)."""
+"""E6 — §6.5: routing state and update scope, flat vs recursive (size sweep),
+plus the scale tier (wall-clock and events/sec at up to 1,021 systems)."""
+
+import os
 
 from repro.experiments.common import format_table
-from repro.experiments.e6_scalability import run_sweep
+from repro.experiments.e6_scalability import run_scale, run_sweep
 
 SIZES = [(3, 4), (4, 8), (5, 12)]   # (regions, hosts/region)
+
+#: events/sec of the seed (pre queue/SPF overhaul) on the reference box:
+#: the full flat 5x10 config (build + state stats + flap scope) processed
+#: 28,211 events in 0.582 s.  The overhaul's acceptance was >= 3x this.
+SEED_FLAT_5x10_EVENTS_PER_S = 48_500
+
+
+def test_e6_scale_tier(benchmark, table_sink):
+    """Scale rows: record wall-clock and events/sec so hot-path
+    regressions surface in the bench JSON instead of silently rotting.
+    Set REPRO_E6_SCALE=large to include the 1,021-system tier."""
+    run_scale("flat", 5, 10)   # warm interpreter caches off the clock
+    def rows_fn():
+        rows = [run_scale("flat", 5, 10),
+                run_scale("recursive", 5, 10),
+                run_scale("recursive", 10, 20)]
+        if os.environ.get("REPRO_E6_SCALE") == "large":
+            rows.append(run_scale("recursive", 20, 50))
+        return rows
+    rows = benchmark.pedantic(rows_fn, rounds=1, iterations=1)
+    table_sink("E6-scale (§6.5): build wall-clock and events/sec",
+               format_table(rows))
+    for row in rows:
+        assert row["events_per_s"] > 0
+        assert row["total_state"] > 0
+    flat = rows[0]
+    # the headline hot-path budget: the flat 5x10 config must stay well
+    # clear of the seed's measured throughput (3x achieved, 2x floor).
+    # The floor is an absolute number from the reference box, so it is
+    # opt-in — set REPRO_E6_STRICT=1 on hardware at least as fast (the
+    # CI gate for arbitrary runners is the wall-clock-capped smoke job)
+    if os.environ.get("REPRO_E6_STRICT"):
+        assert flat["events_per_s"] >= 2 * SEED_FLAT_5x10_EVENTS_PER_S, flat
+    # the §6.5 property at scale: a flat member carries the whole graph,
+    # a recursive member's state is bounded by its region, not the network
+    assert flat["mean_table"] == flat["systems"] - 1
+    for row in rows[1:]:
+        assert row["max_table"] < row["systems"] / 3, row
 
 
 def test_e6_state_and_scope(benchmark, table_sink):

@@ -63,6 +63,13 @@ def _e6() -> List[dict]:
     return run_sweep([(3, 4), (4, 8)])
 
 
+def _e6_scale() -> List[dict]:
+    import os
+    from .experiments.e6_scalability import run_scale_tier
+    tiers = os.environ.get("REPRO_E6_SCALE_TIERS", "small,medium,large")
+    return run_scale_tier([t.strip() for t in tiers.split(",") if t.strip()])
+
+
 def _e7() -> List[dict]:
     from .experiments.e7_security import run_comparison
     return run_comparison()
@@ -95,6 +102,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "e4": ("Fig 4/§6.3: multihoming failover vs TCP/SCTP", _e4),
     "e5": ("Fig 5/§6.4: mobility vs Mobile-IP (+A4 ablation)", _e5),
     "e6": ("§6.5: flat vs recursive routing state", _e6),
+    "e6-scale": ("§6.5 scale tier: 56/211/1,021-system builds, "
+                 "wall-clock + events/sec (REPRO_E6_SCALE_TIERS)", _e6_scale),
     "e7": ("§6.1: attack surface", _e7),
     "e8": ("§6.6: utilization before QoS violation", _e8),
     "e9": ("§6.5/§6.7: private addressing without NAT", _e9),

@@ -6,7 +6,8 @@ Neither ever sees an address — the API discipline of §3.1.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional
 
 from ..core.api import FlowWaiter, MessageFlow
 from ..core.flow import Flow
@@ -62,7 +63,7 @@ class EchoClient:
         self.message_flow = MessageFlow(system.engine, self.flow)
         self.message_flow.set_message_receiver(self._on_reply)
         self.rtts: List[float] = []
-        self._sent_at: List[float] = []
+        self._sent_at: Deque[float] = deque()
         self.replies = 0
 
     @property
@@ -82,7 +83,7 @@ class EchoClient:
 
     def _on_reply(self, data: bytes) -> None:
         if self._sent_at:
-            self.rtts.append(self.system.engine.now - self._sent_at.pop(0))
+            self.rtts.append(self.system.engine.now - self._sent_at.popleft())
         self.replies += 1
         if self.on_reply is not None:
             self.on_reply(data)

@@ -17,7 +17,8 @@ conveniences real applications want on top of raw SDUs:
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Optional
 
 from ..sim.engine import Engine, Timer
 from .delimiting import Delimiter, Fragment, Reassembler
@@ -42,7 +43,7 @@ class MessageFlow:
         self._delimiter = Delimiter(max_fragment)
         self._reassembler = Reassembler()
         self._receiver: Optional[MessageReceiver] = None
-        self._backlog: List[Fragment] = []
+        self._backlog: Deque[Fragment] = deque()
         self._retry_delay = retry_delay
         self._retry_timer = Timer(engine, self._drain, label="msgflow.retry")
         self.messages_sent = 0
@@ -72,7 +73,7 @@ class MessageFlow:
             if not self.flow.send(fragment, fragment.wire_size()):
                 self._retry_timer.start(self._retry_delay)
                 return
-            self._backlog.pop(0)
+            self._backlog.popleft()
 
     def _on_sdu(self, payload: Any, size: int) -> None:
         if not isinstance(payload, Fragment):

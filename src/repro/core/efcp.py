@@ -20,7 +20,8 @@ which is the paper's central claim about the repeating structure.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import Engine, Timer
 from .names import Address
@@ -101,7 +102,7 @@ class EfcpStats:
     __slots__ = ("pdus_sent", "retransmissions", "pdus_received", "duplicates",
                  "out_of_order", "sdus_delivered", "bytes_delivered",
                  "acks_sent", "acks_received", "timeouts", "stalls",
-                 "send_rejected")
+                 "send_rejected", "window_drops")
 
     def __init__(self) -> None:
         self.pdus_sent = 0
@@ -116,6 +117,7 @@ class EfcpStats:
         self.timeouts = 0
         self.stalls = 0
         self.send_rejected = 0
+        self.window_drops = 0
 
 
 class EfcpConnection:
@@ -161,7 +163,7 @@ class EfcpConnection:
         # --- sender state ---
         self._next_seq = 0                      # next new sequence number
         self._send_base = 0                     # oldest unacknowledged
-        self._send_queue: List[Tuple[int, Any, int]] = []  # awaiting window
+        self._send_queue: Deque[Tuple[int, Any, int]] = deque()  # awaiting window
         self._outstanding: Dict[int, Tuple[Any, int, float, bool]] = {}
         # seq -> (payload, size, time_sent, retransmitted)
         self._credit = policy.initial_credit    # highest seq allowed (excl.)
@@ -249,7 +251,7 @@ class EfcpConnection:
         """Transmit queued SDUs that now fit in the window."""
         edge = self._effective_window_edge()
         while self._send_queue and self._send_queue[0][0] < edge:
-            seq, payload, size = self._send_queue.pop(0)
+            seq, payload, size = self._send_queue.popleft()
             self._transmit(seq, payload, size, retransmit=False)
 
     def _transmit(self, seq: int, payload: Any, size: int, retransmit: bool) -> None:
@@ -406,6 +408,11 @@ class EfcpConnection:
         seq = pdu.seq
         if not self.policy.reliable:
             self._receive_unreliable(pdu)
+            return
+        if seq >= self._rcv_expected + self._rcv_window:
+            # beyond the credit this receiver ever granted: buffering it
+            # would let a peer (or bug) grow _rcv_buffer without bound
+            self.stats.window_drops += 1
             return
         if seq < self._rcv_expected or seq in self._rcv_buffer:
             self.stats.duplicates += 1

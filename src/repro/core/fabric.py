@@ -16,6 +16,7 @@ adjacencies — exactly the §5.1/§5.2 procedure.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.engine import Engine
@@ -221,9 +222,9 @@ def build_dif_over(orchestrator: Orchestrator, dif: Dif,
 
     enrolled = {bootstrap}
     used_edges = set()
-    frontier = [bootstrap]
+    frontier = deque([bootstrap])
     while frontier:
-        current = frontier.pop(0)
+        current = frontier.popleft()
         for peer, lower, index in neighbor_edges[current]:
             if peer in enrolled:
                 continue

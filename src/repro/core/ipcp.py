@@ -239,6 +239,9 @@ class Ipcp:
             return False
         copy = RiepMessage(template.opcode, obj=template.obj,
                            value=template.value)
+        # the payload is shared, so the encoded-size estimate carries over
+        # (re-walking a large LSA value per neighbor was a measured cost)
+        copy._size_cache = template.estimate_size()
 
         def on_reply(reply: Optional[RiepMessage]) -> None:
             if reply is None and attempts > 1:

@@ -17,7 +17,7 @@ The paper's naming rules (§3.1, §5.3, §6.3, §7, after Saltzer and Shoch):
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 class ApplicationName:
@@ -75,15 +75,32 @@ class Address:
     ablate this choice in experiment A1.
     """
 
-    __slots__ = ("parts",)
+    __slots__ = ("parts", "_hash")
+
+    # addresses are immutable value objects keying every forwarding and
+    # routing dict on the hot path; interning them makes dict lookups hit
+    # the identity fast path instead of tuple __eq__ per probe
+    _interned: Dict[Tuple[int, ...], "Address"] = {}
+
+    def __new__(cls, *parts: int) -> "Address":
+        if cls is Address:
+            interned = cls._interned.get(parts)
+            if interned is not None:
+                return interned
+        return super().__new__(cls)
 
     def __init__(self, *parts: int) -> None:
+        if parts and self._interned.get(parts) is self:
+            return  # interned instance handed back by __new__
         if not parts:
             raise ValueError("address needs at least one component")
         for p in parts:
             if not isinstance(p, int) or p < 0:
                 raise ValueError(f"address components must be ints >= 0, got {parts!r}")
         self.parts = tuple(parts)
+        self._hash = hash(self.parts)
+        if type(self) is Address:
+            self._interned[self.parts] = self
 
     @property
     def is_flat(self) -> bool:
@@ -101,13 +118,15 @@ class Address:
         return self.parts[:len(prefix)] == tuple(prefix)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Address) and self.parts == other.parts
 
     def __lt__(self, other: "Address") -> bool:
         return self.parts < other.parts
 
     def __hash__(self) -> int:
-        return hash(self.parts)
+        return self._hash
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.parts)

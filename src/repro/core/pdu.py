@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from .names import Address
+from .riep import RiepMessage
 
 #: Header overhead in bytes, per PDU kind (address pair, CEP-ids, sequence
 #: numbers, flags).  Chosen to match a compact binary encoding.
@@ -132,7 +133,10 @@ class ManagementPdu(Pdu):
         self.message = message
 
     def wire_size(self) -> int:
-        estimate = getattr(self.message, "estimate_size", None)
+        message = self.message
+        if isinstance(message, RiepMessage):
+            return MGMT_HEADER_BYTES + message.estimate_size()
+        estimate = getattr(message, "estimate_size", None)
         body = estimate() if callable(estimate) else 64
         return MGMT_HEADER_BYTES + body
 

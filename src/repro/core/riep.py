@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional
 
-from ..sim.engine import Engine, Timer
+from ..sim.engine import Engine
 
 # Operation codes (the CDAP verbs the paper's reference model uses).
 M_CONNECT = "M_CONNECT"      # start an application/management connection
@@ -74,7 +74,8 @@ class RiepMessage:
         ``RESULT_*`` code, meaningful on ``*_R`` messages.
     """
 
-    __slots__ = ("opcode", "obj", "value", "invoke_id", "result")
+    __slots__ = ("opcode", "obj", "value", "invoke_id", "result",
+                 "_size_cache")
 
     def __init__(self, opcode: str, obj: str = "", value: Any = None,
                  invoke_id: int = 0, result: int = RESULT_OK) -> None:
@@ -83,6 +84,7 @@ class RiepMessage:
         self.value = value
         self.invoke_id = invoke_id
         self.result = result
+        self._size_cache: Optional[int] = None
 
     def reply(self, value: Any = None, result: int = RESULT_OK) -> "RiepMessage":
         """Build the response message for this request."""
@@ -90,11 +92,19 @@ class RiepMessage:
                            value=value, invoke_id=self.invoke_id, result=result)
 
     def estimate_size(self) -> int:
-        """Approximate encoded size in bytes (for link serialization)."""
-        body = len(self.opcode) + len(self.obj) + 12
-        if self.value is not None:
-            body += _estimate_value_size(self.value)
-        return body
+        """Approximate encoded size in bytes (for link serialization).
+
+        The estimate is cached: a message's payload must not be mutated
+        after it is first handed to a PDU (flooding re-reads the size at
+        every hop, and the recursive walk over a large LSA value was a
+        measured hot spot at thousand-member scale).
+        """
+        if self._size_cache is None:
+            body = len(self.opcode) + len(self.obj) + 12
+            if self.value is not None:
+                body += _estimate_value_size(self.value)
+            self._size_cache = body
+        return self._size_cache
 
     @property
     def ok(self) -> bool:
@@ -147,10 +157,12 @@ class InvokeTable:
         invoke_id = next(self._ids)
         message.invoke_id = invoke_id
         delay = self._default_timeout if timeout is None else timeout
-        timer = Timer(self._engine, lambda: self._timeout(invoke_id),
-                      label=f"riep.invoke.{invoke_id}")
-        timer.start(delay)
-        self._pending[invoke_id] = (handler, timer)
+        # one raw engine event instead of a Timer wrapper: requests are
+        # made (and almost always answered, cancelling the event) for
+        # every flooded management message — the hottest timer site
+        event = self._engine.call_later(delay, self._timeout, invoke_id,
+                                        label="riep.invoke")
+        self._pending[invoke_id] = (handler, event)
         return message
 
     def dispatch_response(self, message: RiepMessage) -> bool:
@@ -158,8 +170,8 @@ class InvokeTable:
         entry = self._pending.pop(message.invoke_id, None)
         if entry is None:
             return False
-        handler, timer = entry
-        timer.cancel()
+        handler, event = entry
+        event.cancel()
         handler(message)
         return True
 

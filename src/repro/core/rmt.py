@@ -18,7 +18,8 @@ meaningful (experiments E8/A3).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import Engine
 from .names import Address
@@ -51,7 +52,7 @@ class FifoScheduler(Scheduler):
     """Single drop-tail FIFO — the baseline best-effort discipline."""
 
     def __init__(self, limit: int = 256) -> None:
-        self._queue: List[Pdu] = []
+        self._queue: Deque[Pdu] = deque()
         self._limit = limit
 
     def push(self, pdu: Pdu) -> Optional[Pdu]:
@@ -61,7 +62,7 @@ class FifoScheduler(Scheduler):
         return None
 
     def pop(self) -> Optional[Pdu]:
-        return self._queue.pop(0) if self._queue else None
+        return self._queue.popleft() if self._queue else None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -75,7 +76,7 @@ class PriorityScheduler(Scheduler):
     """
 
     def __init__(self, limit: int = 256) -> None:
-        self._queues: Dict[int, List[Pdu]] = {}
+        self._queues: Dict[int, Deque[Pdu]] = {}
         self._limit = limit
         self._count = 0
 
@@ -87,9 +88,9 @@ class PriorityScheduler(Scheduler):
             victim = self._queues[worst].pop()
             if not self._queues[worst]:
                 del self._queues[worst]
-            self._queues.setdefault(pdu.priority, []).append(pdu)
+            self._queues.setdefault(pdu.priority, deque()).append(pdu)
             return victim
-        self._queues.setdefault(pdu.priority, []).append(pdu)
+        self._queues.setdefault(pdu.priority, deque()).append(pdu)
         self._count += 1
         return None
 
@@ -97,7 +98,7 @@ class PriorityScheduler(Scheduler):
         if not self._queues:
             return None
         best = min(self._queues)
-        pdu = self._queues[best].pop(0)
+        pdu = self._queues[best].popleft()
         if not self._queues[best]:
             del self._queues[best]
         self._count -= 1
@@ -121,9 +122,9 @@ class DrrScheduler(Scheduler):
         self._limit = limit
         self._quantum = quantum
         self._weights = weights or {}
-        self._queues: Dict[int, List[Pdu]] = {}
+        self._queues: Dict[int, Deque[Pdu]] = {}
         self._deficits: Dict[int, float] = {}
-        self._active: List[int] = []   # round-robin order of classes
+        self._active: Deque[int] = deque()   # round-robin order of classes
         self._count = 0
 
     def push(self, pdu: Pdu) -> Optional[Pdu]:
@@ -131,7 +132,7 @@ class DrrScheduler(Scheduler):
             return pdu
         cls = pdu.priority
         if cls not in self._queues:
-            self._queues[cls] = []
+            self._queues[cls] = deque()
             self._deficits[cls] = 0.0
             self._active.append(cls)
         self._queues[cls].append(pdu)
@@ -151,14 +152,14 @@ class DrrScheduler(Scheduler):
             head = queue[0]
             if self._deficits[cls] >= head.wire_size():
                 self._deficits[cls] -= head.wire_size()
-                queue.pop(0)
+                queue.popleft()
                 self._count -= 1
                 if not queue:
                     self._rotate_out(cls)
                 return head
             weight = self._weights.get(cls, 1.0)
             self._deficits[cls] += self._quantum * weight
-            self._active.append(self._active.pop(0))  # next class's turn
+            self._active.rotate(-1)  # next class's turn
         return None  # pragma: no cover - defensive; quantum always progresses
 
     def _rotate_out(self, cls: int) -> None:
@@ -407,12 +408,13 @@ class Rmt:
     def _enqueue(self, port: RmtPort, pdu: Pdu) -> None:
         if port.nominal_bps is None:
             # unpaced port: hand straight to the (N-1) flow
-            if not port.send_fn(pdu, pdu.wire_size()):
+            size = pdu.wire_size()
+            if not port.send_fn(pdu, size):
                 port.pdus_dropped += 1
                 self._drop(pdu, "lower-layer-refused")
             else:
                 port.pdus_out += 1
-                port.bytes_out += pdu.wire_size()
+                port.bytes_out += size
             return
         displaced = port.scheduler.push(pdu)
         if displaced is not None:
@@ -427,13 +429,14 @@ class Rmt:
             port.busy = False
             return
         port.busy = True
-        if port.send_fn(pdu, pdu.wire_size()):
+        size = pdu.wire_size()
+        if port.send_fn(pdu, size):
             port.pdus_out += 1
-            port.bytes_out += pdu.wire_size()
+            port.bytes_out += size
         else:
             port.pdus_dropped += 1
             self._drop(pdu, "lower-layer-refused")
-        service_time = pdu.wire_size() * 8.0 / port.nominal_bps
+        service_time = size * 8.0 / port.nominal_bps
         self._engine.call_later(service_time, self._serve, port,
                                 label="rmt.serve")
 

@@ -16,10 +16,28 @@ LSAs travel as hop-scoped RIEP ``M_WRITE`` messages on the object
 ``/routing/lsa`` and are re-flooded with sequence-number dedup, so the
 **scope of a routing update is bounded by the DIF's scope** — the property
 experiments E5/E6 quantify.
+
+Scaling (the E6 1,000-system tier) forced the routing task incremental:
+
+* the two-way-confirmed graph is **memoized** and patched edge-by-edge as
+  LSAs arrive, instead of being rebuilt from the whole LSDB before every
+  SPF run;
+* an accepted LSA that does not change its origin's advertised neighbor
+  set (a pure sequence-number refresh) is stored and re-flooded but does
+  **not** mark the SPF dirty — the hold-down timer still fires on the same
+  schedule (the event stream is part of the determinism contract), the
+  Dijkstra is simply skipped;
+* optionally (``partial_spf``), a dirty-region check against the previous
+  run's distances proves many edge changes irrelevant — an added edge that
+  strictly improves no path, or a removed edge that was strictly off every
+  shortest path, cannot alter the table, so the Dijkstra is skipped.  The
+  check is conservative about ties (an equal-cost edge is always treated
+  as relevant) so the table stays byte-identical to a full recompute.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..sim.engine import Engine, Timer
@@ -36,22 +54,30 @@ DEFAULT_COST = 1.0
 class Lsa:
     """One origin's view of its adjacencies."""
 
-    __slots__ = ("origin", "seq", "neighbors")
+    __slots__ = ("origin", "seq", "neighbors", "_value_cache")
 
     def __init__(self, origin: Address, seq: int,
                  neighbors: Dict[Address, float]) -> None:
         self.origin = origin
         self.seq = seq
         self.neighbors = dict(neighbors)
+        self._value_cache: Optional[dict] = None
 
     def to_value(self) -> dict:
-        """JSON-like encoding carried in the RIEP message."""
-        return {
-            "origin": self.origin.parts,
-            "seq": self.seq,
-            "neighbors": [(addr.parts, cost)
-                          for addr, cost in sorted(self.neighbors.items())],
-        }
+        """JSON-like encoding carried in the RIEP message.
+
+        Cached (an LSA is immutable once stored): enrollment fast-sync
+        re-encodes the whole LSDB for every joining member, which at
+        thousand-member scale was quadratic dict construction.
+        """
+        if self._value_cache is None:
+            self._value_cache = {
+                "origin": self.origin.parts,
+                "seq": self.seq,
+                "neighbors": [(addr.parts, cost)
+                              for addr, cost in sorted(self.neighbors.items())],
+            }
+        return self._value_cache
 
     @classmethod
     def from_value(cls, value: dict) -> "Lsa":
@@ -59,7 +85,9 @@ class Lsa:
         origin = Address(*value["origin"])
         neighbors = {Address(*parts): float(cost)
                      for parts, cost in value["neighbors"]}
-        return cls(origin, int(value["seq"]), neighbors)
+        lsa = cls(origin, int(value["seq"]), neighbors)
+        lsa._value_cache = value
+        return lsa
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Lsa {self.origin} seq={self.seq} nbrs={len(self.neighbors)}>"
@@ -78,31 +106,54 @@ class LinkStateRouting:
         ``flood_fn(message, exclude_neighbor)`` sends a hop-scoped RIEP
         message to every adjacent member except ``exclude_neighbor``.
     on_table_change:
-        Invoked after each SPF run with the new next-hop table.
+        Invoked after each SPF run that recomputed the table.
     spf_delay:
         Hold-down between an LSDB change and the SPF run (batches floods).
+    partial_spf:
+        Enable the dirty-region skip: when every edge change since the
+        last run is provably irrelevant to the shortest-path tree, the
+        Dijkstra is elided.  Exact — disable only for A/B measurement.
     """
 
     def __init__(self, engine: Engine,
                  local_addr_fn: Callable[[], Optional[Address]],
                  flood_fn: Callable[[RiepMessage, Optional[Address]], int],
                  on_table_change: Optional[Callable[[Dict[Address, Address]], None]] = None,
-                 spf_delay: float = 0.02) -> None:
+                 spf_delay: float = 0.02, partial_spf: bool = True) -> None:
         self._engine = engine
         self._local_addr_fn = local_addr_fn
         self._flood = flood_fn
         self._on_table_change = on_table_change
         self._spf_delay = spf_delay
+        self._partial_spf = partial_spf
         self._lsdb: Dict[Address, Lsa] = {}
         self._own_seq = 0
         self._adjacencies: Dict[Address, float] = {}
         self._next_hop: Dict[Address, Address] = {}
         self._spf_timer = Timer(engine, self._run_spf, label="routing.spf")
+        # memoized two-way graph, patched incrementally as claims change
+        self._claims: Dict[Address, Dict[Address, float]] = {}
+        self._graph: Dict[Address, Dict[Address, float]] = {}
+        # edge → cost at the time of the last SPF run (None: absent then);
+        # only edges touched since that run appear here
+        self._dirty_edge_costs: Dict[Tuple[Address, Address], Optional[float]] = {}
+        self._dirty = False            # any claim change since the last run
+        self._spf_pending = False      # hold-down fired; recompute on query
+        self._dist: Dict[Address, float] = {}   # last run's distances
+        self._spf_source: Optional[Address] = None
         # counters for the scalability/mobility experiments
         self.lsas_originated = 0
         self.lsas_received = 0
-        self.lsas_refloded = 0
+        self.lsas_reflooded = 0
         self.spf_runs = 0
+        self.spf_skipped = 0           # hold-down fired, nothing dirty
+        self.spf_partial_skips = 0     # dirty edges proved irrelevant
+
+    @property
+    def lsas_refloded(self) -> int:
+        """Deprecated misspelling of :attr:`lsas_reflooded` (kept so old
+        experiment code and pickled metrics keep working)."""
+        return self.lsas_reflooded
 
     # ------------------------------------------------------------------
     # Adjacency management (called by the IPCP's neighbor monitoring)
@@ -112,6 +163,7 @@ class LinkStateRouting:
         if self._adjacencies.get(neighbor) == cost:
             return
         self._adjacencies[neighbor] = cost
+        self._sync_local_claim()
         self._originate()
 
     def neighbor_down(self, neighbor: Address) -> None:
@@ -119,6 +171,7 @@ class LinkStateRouting:
         if neighbor not in self._adjacencies:
             return
         del self._adjacencies[neighbor]
+        self._sync_local_claim()
         self._originate()
 
     def reset(self) -> None:
@@ -131,6 +184,13 @@ class LinkStateRouting:
         self._lsdb.clear()
         self._adjacencies.clear()
         self._next_hop.clear()
+        self._claims.clear()
+        self._graph.clear()
+        self._dirty_edge_costs.clear()
+        self._dist = {}
+        self._spf_source = None
+        self._dirty = True
+        self._spf_pending = False
         self._spf_timer.cancel()
 
     def adjacencies(self) -> Dict[Address, float]:
@@ -144,6 +204,7 @@ class LinkStateRouting:
         self._own_seq += 1
         lsa = Lsa(local, self._own_seq, self._adjacencies)
         self._lsdb[local] = lsa
+        self._sync_local_claim()
         self.lsas_originated += 1
         message = RiepMessage(M_WRITE, obj=LSA_OBJ, value=lsa.to_value())
         self._flood(message, None)
@@ -159,14 +220,22 @@ class LinkStateRouting:
     # ------------------------------------------------------------------
     def handle_lsa(self, message: RiepMessage, from_neighbor: Address) -> None:
         """Process a received ``M_WRITE /routing/lsa`` message."""
-        lsa = Lsa.from_value(message.value)
         self.lsas_received += 1
-        current = self._lsdb.get(lsa.origin)
-        if current is not None and current.seq >= lsa.seq:
+        # dedup on (origin, seq) before decoding the neighbor list: most
+        # floods arrive several times and only the first copy is fresh
+        value = message.value
+        origin = Address(*value["origin"])
+        current = self._lsdb.get(origin)
+        if current is not None and current.seq >= int(value["seq"]):
             return  # stale or duplicate: flooding stops here
+        lsa = Lsa.from_value(value)
         self._lsdb[lsa.origin] = lsa
-        self.lsas_refloded += 1
+        self.lsas_reflooded += 1
         self._flood(message, from_neighbor)
+        # patch the memoized graph; a pure seq refresh (identical neighbor
+        # set) leaves it clean, so the coming SPF fire will skip Dijkstra
+        if lsa.origin != self._local_addr_fn():
+            self._set_claim(lsa.origin, lsa.neighbors)
         self._schedule_spf()
 
     def sync_lsdb(self) -> List[dict]:
@@ -176,11 +245,14 @@ class LinkStateRouting:
     def load_lsdb(self, values: Sequence[dict]) -> None:
         """Install a bulk LSDB snapshot (enrollment fast-sync)."""
         changed = False
+        local = self._local_addr_fn()
         for value in values:
             lsa = Lsa.from_value(value)
             current = self._lsdb.get(lsa.origin)
             if current is None or current.seq < lsa.seq:
                 self._lsdb[lsa.origin] = lsa
+                if lsa.origin != local:
+                    self._set_claim(lsa.origin, lsa.neighbors)
                 changed = True
         if changed:
             self._schedule_spf()
@@ -193,80 +265,199 @@ class LinkStateRouting:
             self._spf_timer.start(self._spf_delay)
 
     def _run_spf(self) -> None:
+        """Hold-down timer fired: the table may now be recomputed.
+
+        The recomputation itself is deferred to the first table query
+        (``next_hop``/``table``/...): during stack construction and flood
+        storms members see LSA bursts but forward no routed traffic, so
+        eagerly recomputing per member per burst is pure waste — the E6
+        build at 1,000 systems runs thousands of Dijkstras nobody reads.
+        Determinism is unaffected (same seed → same query points), and
+        the engine's event stream is untouched because the timer schedule
+        is unchanged.
+
+        Deliberate semantic choice: a deferred recompute runs over the
+        graph *as of the query*, so it may fold in LSAs that arrived
+        after this fire and whose own hold-down has not yet expired.
+        Forwarding therefore uses link-state that is monotonically
+        fresher than the eager schedule would have — never staler — and
+        the hold-down keeps batching the *cost*.  If an experiment ever
+        needs fire-time snapshots (eager semantics), recompute here
+        instead of setting the flag.
+        """
+        self._spf_pending = True
+
+    def _ensure_table(self) -> None:
+        if self._spf_pending:
+            self._spf_pending = False
+            self._compute_spf()
+
+    def _compute_spf(self) -> None:
         local = self._local_addr_fn()
         if local is None:
             return
+        if self._spf_source is not None and self._spf_source != local:
+            # address changed without a reset: the old address is no
+            # longer locally overridden — fall back to its stored LSA
+            previous = self._lsdb.get(self._spf_source)
+            self._set_claim(self._spf_source,
+                            previous.neighbors if previous else {})
+        self._sync_local_claim()
+        if not self._dirty and self._spf_source == local:
+            self.spf_skipped += 1
+            return
+        dirty_edges = self._dirty_edge_costs
+        self._dirty_edge_costs = {}
+        self._dirty = False
+        if (self._partial_spf and self._spf_source == local
+                and self._edges_irrelevant(dirty_edges)):
+            self.spf_partial_skips += 1
+            return
         self.spf_runs += 1
-        graph = self._two_way_graph()
-        self._next_hop = self._dijkstra(local, graph)
+        self._spf_source = local
+        self._next_hop, self._dist = self._dijkstra(local, self._graph)
         if self._on_table_change is not None:
             self._on_table_change(dict(self._next_hop))
 
-    def _two_way_graph(self) -> Dict[Address, Dict[Address, float]]:
-        """Edges confirmed by both endpoints' LSAs (standard two-way check).
-
-        The local node's live adjacency set overrides its stored LSA so a
-        just-changed neighbor is usable before the LSA round-trips.
-        """
+    # -- memoized two-way graph ----------------------------------------
+    def _sync_local_claim(self) -> None:
+        """The local node's live adjacency set overrides its stored LSA so
+        a just-changed neighbor is usable before the LSA round-trips."""
         local = self._local_addr_fn()
-        claims: Dict[Address, Dict[Address, float]] = {
-            origin: dict(lsa.neighbors) for origin, lsa in self._lsdb.items()}
-        if local is not None:
-            claims[local] = dict(self._adjacencies)
-        graph: Dict[Address, Dict[Address, float]] = {}
-        for a, neighbors in claims.items():
-            for b, cost in neighbors.items():
-                back = claims.get(b, {})
-                if a in back:
-                    graph.setdefault(a, {})[b] = max(cost, back[a])
-        return graph
+        if local is not None and self._claims.get(local) != self._adjacencies:
+            self._set_claim(local, self._adjacencies)
+
+    def _set_claim(self, origin: Address,
+                   neighbors: Dict[Address, float]) -> None:
+        """Install one origin's claimed adjacency set and patch every
+        two-way edge it touches (standard two-way check: an edge exists
+        only when both endpoints claim each other; cost = max of claims)."""
+        old = self._claims.get(origin)
+        if old == neighbors:
+            return
+        if old is None:
+            old = {}
+        # only pairs whose claimed cost actually moved can change an edge
+        touched = [peer for peer in set(old) | set(neighbors)
+                   if old.get(peer) != neighbors.get(peer)]
+        if neighbors:
+            self._claims[origin] = dict(neighbors)
+        else:
+            self._claims.pop(origin, None)
+        for peer in touched:
+            self._refresh_edge(origin, peer)
+        self._dirty = True
+
+    def _refresh_edge(self, a: Address, b: Address) -> None:
+        claims = self._claims
+        row_a = claims.get(a)
+        row_b = claims.get(b)
+        ab = None if row_a is None else row_a.get(b)
+        ba = None if row_b is None else row_b.get(a)
+        new = max(ab, ba) if ab is not None and ba is not None else None
+        row = self._graph.get(a)
+        cur = None if row is None else row.get(b)
+        if new == cur:
+            return
+        key = (a, b) if a < b else (b, a)
+        # remember the cost as of the last SPF run (first change wins)
+        self._dirty_edge_costs.setdefault(key, cur)
+        if new is None:
+            del row[b]
+            if not row:
+                del self._graph[a]
+            back = self._graph[b]
+            del back[a]
+            if not back:
+                del self._graph[b]
+        else:
+            self._graph.setdefault(a, {})[b] = new
+            self._graph.setdefault(b, {})[a] = new
+
+    def _edges_irrelevant(self,
+                          dirty: Dict[Tuple[Address, Address],
+                                      Optional[float]]) -> bool:
+        """True when every edge change since the last run provably leaves
+        the shortest-path tree alone (checked against the last run's
+        distances; conservative about equal-cost ties)."""
+        dist = self._dist
+        inf = math.inf
+        eps = 1e-12
+        for (a, b), old_cost in dirty.items():
+            new_cost = self._graph.get(a, {}).get(b)
+            if new_cost == old_cost:
+                continue  # changed and changed back between runs
+            da = dist.get(a, inf)
+            db = dist.get(b, inf)
+            if math.isinf(da) and math.isinf(db):
+                continue  # joins two nodes outside the old reachable set
+            for cost in (old_cost, new_cost):
+                if cost is None:
+                    continue
+                if da + cost <= db + eps or db + cost <= da + eps:
+                    return False  # on (or now shorter than) a shortest path
+        return True
 
     def _dijkstra(self, source: Address,
-                  graph: Dict[Address, Dict[Address, float]]) -> Dict[Address, Address]:
-        import heapq
+                  graph: Dict[Address, Dict[Address, float]]
+                  ) -> Tuple[Dict[Address, Address], Dict[Address, float]]:
+        from heapq import heappop, heappush
         dist: Dict[Address, float] = {source: 0.0}
         first_hop: Dict[Address, Optional[Address]] = {source: None}
         heap: List[Tuple[float, Tuple[int, ...], Address]] = [
             (0.0, source.parts, source)]
         visited: Set[Address] = set()
+        dist_get = dist.get
+        graph_get = graph.get
         while heap:
-            d, _tie, node = heapq.heappop(heap)
+            d, _tie, node = heappop(heap)
             if node in visited:
                 continue
             visited.add(node)
-            for neighbor, cost in graph.get(node, {}).items():
+            row = graph_get(node)
+            if not row:
+                continue
+            hop_via = first_hop[node]
+            from_source = node == source
+            for neighbor, cost in row.items():
                 nd = d + cost
-                if neighbor not in dist or nd < dist[neighbor] - 1e-12:
+                cur = dist_get(neighbor)
+                if cur is None or nd < cur - 1e-12:
                     dist[neighbor] = nd
-                    first_hop[neighbor] = neighbor if node == source else first_hop[node]
-                    heapq.heappush(heap, (nd, neighbor.parts, neighbor))
+                    first_hop[neighbor] = neighbor if from_source else hop_via
+                    heappush(heap, (nd, neighbor.parts, neighbor))
         table = {}
         for dst, hop in first_hop.items():
             if dst != source and hop is not None:
                 table[dst] = hop
-        return table
+        return table, dist
 
     # ------------------------------------------------------------------
     # Introspection / metrics
     # ------------------------------------------------------------------
     def next_hop(self, destination: Address) -> Optional[Address]:
         """Step one of two-step routing: destination → next-hop address."""
+        self._ensure_table()
         return self._next_hop.get(destination)
 
     def table(self) -> Dict[Address, Address]:
         """The full next-hop table (copy)."""
+        self._ensure_table()
         return dict(self._next_hop)
 
     def table_size(self) -> int:
         """Number of destination entries — the E6/A1 metric."""
+        self._ensure_table()
         return len(self._next_hop)
 
     def aggregated_table_size(self) -> int:
         """Entries after topological prefix aggregation (A1 metric)."""
+        self._ensure_table()
         return len(aggregate_forwarding_table(self._next_hop))
 
     def reachable(self) -> Set[Address]:
         """Destinations the current table can reach."""
+        self._ensure_table()
         return set(self._next_hop)
 
     def lsdb_size(self) -> int:
@@ -276,4 +467,5 @@ class LinkStateRouting:
     def force_spf(self) -> None:
         """Run SPF immediately (tests and convergence measurements)."""
         self._spf_timer.cancel()
-        self._run_spf()
+        self._spf_pending = True
+        self._ensure_table()

@@ -24,12 +24,22 @@ routing update when one access link flaps.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Tuple
 
 from ..apps.echo import EchoClient, EchoServer
 from ..core import (Dif, DifPolicies, Orchestrator, add_shims, build_dif_over,
                     make_systems, run_until, shim_between)
 from ..sim.network import Network
+
+#: The scale tier: named (regions, hosts/region) sizes the hot-path work
+#: opened up.  ``large`` is 1,021 systems — the "scales indefinitely"
+#: claim exercised at three orders of magnitude.
+SCALE_SIZES: Dict[str, Tuple[int, int]] = {
+    "small": (5, 10),      # 56 systems
+    "medium": (10, 20),    # 211 systems
+    "large": (20, 50),     # 1,021 systems
+}
 
 
 def _region_names(region: int, hosts: int) -> Tuple[str, List[str]]:
@@ -228,6 +238,64 @@ def run_config(config: str, regions: int, hosts_per_region: int,
         "flap_update_scope": scope,
     }
     return row
+
+
+def run_scale(config: str, regions: int, hosts_per_region: int,
+              seed: int = 1) -> Dict[str, Any]:
+    """One scale-tier row: build the stack, record wall-clock and
+    events/sec alongside the routing-state metrics.
+
+    Unlike :func:`run_config` this is a *performance* row — it exists so
+    hot-path regressions show up in the bench JSON as a falling
+    ``events_per_s``, not as a silently slower CI.
+    """
+    if config == "flat":
+        builder = build_flat
+    elif config == "recursive":
+        builder = build_recursive
+    else:
+        raise ValueError(f"unknown scale config {config!r}")
+    started = time.perf_counter()
+    network, systems, difs = builder(regions, hosts_per_region, seed)
+    build_wall = time.perf_counter() - started
+    stats = _state_stats(systems, difs)
+    scope = _flap_scope(network, systems, difs,
+                        network.link_between("h0_1", "border0").name)
+    wall = time.perf_counter() - started
+    events = network.engine.events_processed
+    reflooded = sum(ipcp.routing.lsas_reflooded
+                    for dif in difs.values()
+                    for ipcp in dif.members().values())
+    return {
+        "config": f"{config}-scale",
+        "systems": 1 + regions * (1 + hosts_per_region),
+        "regions": regions,
+        "mean_table": round(stats["mean_table"], 2),
+        "max_table": stats["max_table"],
+        "total_state": stats["total_state"],
+        "flap_update_scope": scope,
+        "lsas_reflooded": reflooded,
+        "build_s": round(build_wall, 2),
+        "wall_s": round(wall, 2),
+        "events": events,
+        "events_per_s": int(events / wall) if wall > 0 else 0,
+    }
+
+
+def run_scale_tier(tiers: List[str], seed: int = 1) -> List[Dict[str, Any]]:
+    """Scale rows for the named :data:`SCALE_SIZES` tiers: the flat DIF at
+    the small size (every member carries the whole graph — the quadratic
+    baseline) and the recursive stack at every requested tier."""
+    rows = []
+    for tier in tiers:
+        if tier not in SCALE_SIZES:
+            raise ValueError(f"unknown scale tier {tier!r}; "
+                             f"known: {', '.join(SCALE_SIZES)}")
+        regions, hosts = SCALE_SIZES[tier]
+        if tier == "small":
+            rows.append(run_scale("flat", regions, hosts, seed))
+        rows.append(run_scale("recursive", regions, hosts, seed))
+    return rows
 
 
 def run_sweep(sizes: List[Tuple[int, int]], seed: int = 1) -> List[Dict[str, Any]]:

@@ -19,7 +19,8 @@ instead of scripting:
   experiment stacks re-expressed declaratively.
 """
 
-from .canned import CANNED, canned, e3_scenario, e4_scenario, e5_scenario, fault_storm
+from .canned import (CANNED, canned, e3_scenario, e4_scenario, e5_scenario,
+                     fault_storm, ring_of_stars)
 from .faults import (INJECTORS, CongestionBurst, FaultContext, FaultInjector,
                      LinkDegrade, LinkFlap, NodeCrash, Partition,
                      make_injector)
@@ -40,5 +41,5 @@ __all__ = [
     "run_scenario",
     "generate_scenario", "generate_specs",
     "CANNED", "canned", "fault_storm", "e3_scenario", "e4_scenario",
-    "e5_scenario",
+    "e5_scenario", "ring_of_stars",
 ]

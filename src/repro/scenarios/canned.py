@@ -188,12 +188,42 @@ def fault_storm() -> Scenario:
         duration=12.0)
 
 
+# ----------------------------------------------------------------------
+# Scale-tier family: regional stars over a backbone ring (E6's plant)
+# ----------------------------------------------------------------------
+def ring_of_stars(regions: int = 4, hosts: int = 3) -> Scenario:
+    """Regional access stars on a redundant backbone ring.  The echo probe
+    crosses the ring between opposite regions while a backbone link flaps —
+    the ring's redundancy should reroute instead of partitioning.  Larger
+    instances of the same family drive the E6 scale tier."""
+    return Scenario(
+        name=f"ring-of-stars-{regions}x{hosts}",
+        description=f"{regions} regional stars on a backbone ring, "
+                    f"backbone flap rerouted",
+        topology=TopologySpec(family="ring_of_stars",
+                              params={"regions": regions, "hosts": hosts},
+                              link={"capacity_bps": 5e7, "delay": 0.002}),
+        dif_depth=1,
+        workloads=[
+            WorkloadSpec(kind="echo", client="s0_h0",
+                         server=f"s{regions // 2}_h0",
+                         period=0.05, count=120, size=200, start=1.0),
+            WorkloadSpec(kind="transfer", client="s0_h1",
+                         server=f"s{regions // 2}_h1",
+                         bytes=40_000, start=1.0),
+        ],
+        faults=[FaultSpec(kind="link-flap", target="s0--s1", at=2.5,
+                          duration=1.5)],
+        duration=10.0)
+
+
 CANNED: Dict[str, Callable[[], Scenario]] = {
     "fault-storm": fault_storm,
     "e3-scoped": lambda: e3_scenario("scoped"),
     "e3-e2e": lambda: e3_scenario("e2e"),
     "e4-multihoming": e4_scenario,
     "e5-mobility": e5_scenario,
+    "ring-of-stars": ring_of_stars,
 }
 
 

@@ -19,7 +19,7 @@ from .runner import build_topology
 from .spec import (FAULT_KINDS, FaultSpec, LinkSpec, Scenario, TopologySpec,
                    WorkloadSpec)
 
-_FAMILIES = ("chain", "star", "tree", "grid", "random")
+_FAMILIES = ("chain", "star", "tree", "grid", "random", "ring_of_stars")
 _LINK_FAULTS = ("link-flap", "link-degrade", "congestion")
 
 
@@ -33,6 +33,8 @@ def _sample_topology(rng: random.Random) -> TopologySpec:
         params = {"depth": 2, "arity": 2}
     elif family == "grid":
         params = {"rows": 2, "cols": rng.randint(2, 3)}
+    elif family == "ring_of_stars":
+        params = {"regions": 3, "hosts": rng.randint(1, 2)}
     else:
         params = {"count": rng.randint(4, 6), "edge_factor": 1.4}
     return TopologySpec(family=family, params=params,

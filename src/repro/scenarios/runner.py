@@ -75,6 +75,10 @@ def build_topology(topology: TopologySpec, network: Network) -> List[str]:
         return network.build_random(params.get("count", 5),
                                     params.get("edge_factor", 1.5),
                                     **link_kwargs)
+    if family == "ring_of_stars":
+        return network.build_ring_of_stars(params.get("regions", 3),
+                                           params.get("hosts", 2),
+                                           **link_kwargs)
     raise SpecError(f"unknown topology family {family!r}")
 
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-TOPOLOGY_FAMILIES = ("chain", "star", "tree", "grid", "random", "explicit")
+TOPOLOGY_FAMILIES = ("chain", "star", "tree", "grid", "random",
+                     "ring_of_stars", "explicit")
 WORKLOAD_KINDS = ("echo", "transfer", "stream")
 FAULT_KINDS = ("link-flap", "link-degrade", "node-crash", "partition",
                "congestion")

@@ -13,7 +13,8 @@ turns one of these into a rank-0 IPC facility with more than two members.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from .engine import Engine
 from .link import LossModel, NoLoss
@@ -72,7 +73,7 @@ class BroadcastMedium:
         self._rng = rng if rng is not None else random.Random(0)
         self._tracer = tracer
         self.endpoints: List[BroadcastEndpoint] = []
-        self._queue: List[tuple] = []   # (sender index, payload, size)
+        self._queue: Deque[tuple] = deque()   # (sender index, payload, size)
         self._busy = False
         self._up = True
         self.frames_sent = 0
@@ -127,7 +128,7 @@ class BroadcastMedium:
             self._busy = False
             return
         self._busy = True
-        sender, payload, size = self._queue.pop(0)
+        sender, payload, size = self._queue.popleft()
         air_time = size * 8.0 / self.capacity_bps
         self._engine.call_later(air_time, self._finish, sender, payload, size,
                                 label=f"{self.name}.air")

@@ -80,7 +80,9 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        # heap entries are (time, seq, event) tuples: the heap compares
+        # them at C speed instead of calling Event.__lt__ per sift step
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -126,7 +128,7 @@ class Engine:
                 f"cannot schedule at t={when:.6f}, clock is at t={self._now:.6f}")
         event = Event(when, next(self._seq), callback, args, label=label,
                       on_cancel=self._note_cancel)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (when, event.seq, event))
         self._live += 1
         return event
 
@@ -138,7 +140,13 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self._now + delay, callback, *args, label=label)
+        # inlined call_at: this is the hottest scheduling entry point
+        when = self._now + delay
+        event = Event(when, next(self._seq), callback, args, label=label,
+                      on_cancel=self._note_cancel)
+        heapq.heappush(self._heap, (when, event.seq, event))
+        self._live += 1
+        return event
 
     def call_soon(self, callback: Callable[..., None], *args: Any,
                   label: str = "") -> Event:
@@ -163,13 +171,15 @@ class Engine:
         self._running = True
         self._stopped = False
         budget = max_events
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                event = self._heap[0]
+                event = heap[0][2]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     event._expired = True
                     continue
                 if until is not None and event.time > until:
@@ -177,7 +187,7 @@ class Engine:
                     break
                 if budget is not None and budget <= 0:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 event._expired = True
                 self._live -= 1
                 self._now = event.time

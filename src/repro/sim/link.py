@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .engine import Engine
 from .trace import Tracer
@@ -192,8 +193,11 @@ class Link:
             LinkEnd(self, 0, f"{name}[0]"),
             LinkEnd(self, 1, f"{name}[1]"),
         )
-        # per-direction state: queue of (payload, size) and busy flag
-        self._queues: Tuple[List[Tuple[Any, int]], List[Tuple[Any, int]]] = ([], [])
+        # per-direction state: queue of (payload, size) and busy flag.
+        # deques: transmit queues are pure FIFOs and the O(n) list.pop(0)
+        # dominated the hot path at thousand-system scale.
+        self._queues: Tuple[Deque[Tuple[Any, int]], Deque[Tuple[Any, int]]] = (
+            deque(), deque())
         self._busy = [False, False]
         self._up = True
         # observers notified with (link, up) on fail/repair — used by stacks
@@ -205,6 +209,10 @@ class Link:
         self.frames_dropped_loss = [0, 0]
         self.frames_delivered = [0, 0]
         self.bytes_delivered = [0, 0]
+        # event labels, precomputed: an f-string per scheduled event is
+        # measurable at scale
+        self._tx_label = f"{name}.tx"
+        self._rx_label = f"{name}.rx"
 
     # ------------------------------------------------------------------
     @property
@@ -264,11 +272,11 @@ class Link:
             self._busy[direction] = False
             return
         self._busy[direction] = True
-        payload, size = queue.pop(0)
+        payload, size = queue.popleft()
         tx_time = self.serialization_delay(size)
         self._engine.call_later(
             tx_time, self._finish_serialization, direction, payload, size,
-            label=f"{self.name}.tx")
+            label=self._tx_label)
 
     def _finish_serialization(self, direction: int, payload: Any, size: int) -> None:
         # The frame is on the wire; schedule delivery after propagation,
@@ -280,7 +288,7 @@ class Link:
             else:
                 self._engine.call_later(
                     self.delay, self._deliver, direction, payload, size,
-                    label=f"{self.name}.rx")
+                    label=self._rx_label)
         self._serve(direction)
 
     def _deliver(self, direction: int, payload: Any, size: int) -> None:

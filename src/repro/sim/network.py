@@ -30,6 +30,9 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[str, Link] = {}
         self._link_seq = itertools.count()
+        # link-end → owning node name, maintained by connect(); spares
+        # endpoints_of() the O(nodes × interfaces) scan at scale
+        self._end_owner: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> Node:
@@ -71,6 +74,8 @@ class Network:
         self.links[name] = link
         node_a.add_interface(link.ends[0])
         node_b.add_interface(link.ends[1])
+        self._end_owner[id(link.ends[0])] = a
+        self._end_owner[id(link.ends[1])] = b
         return link
 
     def endpoints_of(self, link: Link) -> Tuple[str, str]:
@@ -165,6 +170,36 @@ class Network:
                     self.connect(matrix[r][c], matrix[r + 1][c], **link_kwargs)
         return matrix
 
+    def build_ring_of_stars(self, regions: int, hosts_per_region: int,
+                            prefix: str = "s",
+                            **link_kwargs: object) -> List[str]:
+        """``regions`` hubs joined in a ring, each with its own star of
+        ``hosts_per_region`` leaves — the E6 scale-tier plant shape
+        (regional access stars over a redundant backbone ring).
+
+        Returns hubs first (``s0..s{k-1}``), then leaves
+        (``s{r}_h{i}``).  A ring of one region degenerates to a star; two
+        regions get a single backbone link (no parallel ring edge).
+        """
+        if regions < 1 or hosts_per_region < 0:
+            raise ValueError("ring_of_stars needs >=1 region and >=0 hosts")
+        hubs = [f"{prefix}{r}" for r in range(regions)]
+        for hub in hubs:
+            self.add_node(hub)
+        if regions == 2:
+            self.connect(hubs[0], hubs[1], **link_kwargs)
+        elif regions > 2:
+            for index, hub in enumerate(hubs):
+                self.connect(hub, hubs[(index + 1) % regions], **link_kwargs)
+        leaves = []
+        for r, hub in enumerate(hubs):
+            for i in range(hosts_per_region):
+                leaf = f"{prefix}{r}_h{i}"
+                self.add_node(leaf)
+                self.connect(hub, leaf, **link_kwargs)
+                leaves.append(leaf)
+        return hubs + leaves
+
     def build_random(self, count: int, edge_factor: float = 2.0,
                      prefix: str = "r", **link_kwargs: object) -> List[str]:
         """Connected random graph with ~``edge_factor * count`` edges.
@@ -207,6 +242,10 @@ class Network:
         return g
 
     def _owner_of(self, end) -> str:
+        owner = self._end_owner.get(id(end))
+        if owner is not None:
+            return owner
+        # fallback for ends attached outside connect()
         for node in self.nodes.values():
             for interface in node.interfaces():
                 if interface.end is end:

@@ -125,7 +125,10 @@ class Tracer:
 
     def count(self, name: str, amount: int = 1) -> None:
         """Shorthand for ``tracer.counter(name).incr(amount)``."""
-        self.counter(name).incr(amount)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.incr(amount)
 
     def counter_value(self, name: str) -> int:
         """Value of ``name`` (0 if never touched)."""

@@ -17,8 +17,8 @@ class TestCli:
         assert "unknown" in capsys.readouterr().err
 
     def test_registry_covers_all_paper_experiments(self):
-        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5", "e6", "e7",
-                                    "e8", "e9", "a1", "a2"}
+        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5", "e6",
+                                    "e6-scale", "e7", "e8", "e9", "a1", "a2"}
 
     def test_single_experiment_prints_table(self, capsys, monkeypatch):
         monkeypatch.setitem(EXPERIMENTS, "e2",

@@ -119,6 +119,91 @@ class TestBidirectionalStress:
         assert got == list(range(10))
 
 
+class TestSendQueueOrderUnderMixedOps:
+    """Regression for the deque refactor of ``_send_queue``: SDUs
+    submitted while earlier ones drain (mixed enqueue/dequeue at the
+    window edge) must still arrive in submission order."""
+
+    def test_trickled_submissions_interleave_with_drain(self):
+        engine, a, _b, _ga, got_b = lossy_pair(
+            policy=EfcpPolicy(initial_credit=4, rto_initial=0.1))
+        counter = [0]
+
+        def trickle():
+            # submit in small bursts so the queue repeatedly straddles
+            # the 4-PDU window: some SDUs transmit instantly, some queue
+            if counter[0] < 90:
+                for _ in range(3):
+                    a.send(counter[0], 20)
+                    counter[0] += 1
+                engine.call_later(0.004, trickle)
+        trickle()
+        engine.run(until=30.0)
+        assert got_b == list(range(90))
+        assert a.all_acknowledged()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=6))
+    def test_property_order_survives_any_window(self, seed, credit):
+        engine, a, _b, _ga, got_b = lossy_pair(
+            seed=seed, policy=EfcpPolicy(initial_credit=credit,
+                                         rto_initial=0.1))
+        for index in range(40):
+            a.send(index, 20)
+        engine.run(until=60.0)
+        assert got_b == list(range(40))
+
+
+class TestReceiverWindowEnforcement:
+    """The receiver must not buffer sequence numbers beyond the credit it
+    granted — an out-of-window PDU is dropped and counted, never stored
+    (the unbounded ``_rcv_buffer`` bug)."""
+
+    def _receiver(self, window=8):
+        engine = Engine()
+        got = []
+        policy = EfcpPolicy(initial_credit=window)
+        conn = EfcpConnection(engine, Address(2), Address(1), 2, 1, policy,
+                              output=lambda pdu: None,
+                              deliver=lambda p, s: got.append(p))
+        return engine, conn, got
+
+    def _data(self, seq):
+        return DataPdu(Address(1), Address(2), 1, 2, seq, ("x", seq), 20)
+
+    def test_out_of_window_pdu_dropped_and_counted(self):
+        _engine, conn, got = self._receiver(window=8)
+        conn.handle_data(self._data(8))     # seq 8 >= 0 + 8: outside
+        assert conn.stats.window_drops == 1
+        assert len(conn._rcv_buffer) == 0
+        assert got == []
+        conn.handle_data(self._data(7))     # last in-window seq: buffered
+        assert conn.stats.window_drops == 1
+        assert len(conn._rcv_buffer) == 1
+
+    def test_window_slides_with_delivery(self):
+        _engine, conn, got = self._receiver(window=4)
+        for seq in range(4):
+            conn.handle_data(self._data(seq))
+        assert [p[1] for p in got] == [0, 1, 2, 3]
+        # window slid to [4, 8): seq 7 fits now, seq 8 still does not
+        conn.handle_data(self._data(7))
+        assert conn.stats.window_drops == 0
+        conn.handle_data(self._data(8))
+        assert conn.stats.window_drops == 1
+
+    def test_flood_of_wild_seqs_cannot_grow_the_buffer(self):
+        _engine, conn, _got = self._receiver(window=8)
+        for seq in range(100, 200):
+            conn.handle_data(self._data(seq))
+        assert len(conn._rcv_buffer) == 0
+        assert conn.stats.window_drops == 100
+        # the connection still works for in-window traffic afterwards
+        conn.handle_data(self._data(0))
+        assert conn.stats.sdus_delivered == 1
+
+
 class TestAimdFairness:
     def test_two_aimd_flows_share_a_paced_bottleneck(self):
         """Two AIMD senders through one paced queue converge to similar

@@ -1,5 +1,7 @@
 """Unit tests for link-state routing inside a DIF."""
 
+import random
+
 import pytest
 
 from repro.core.names import Address
@@ -208,6 +210,8 @@ class TestSync:
 
 class TestSpfScheduling:
     def test_spf_batches_floods(self):
+        # three adjacency changes inside one hold-down window cost one
+        # Dijkstra, billed to the first table query after the timer fires
         engine = Engine()
         task = LinkStateRouting(engine, lambda: Address(1),
                                 lambda m, e: 0, spf_delay=0.1)
@@ -215,7 +219,11 @@ class TestSpfScheduling:
         task.neighbor_up(Address(3))
         task.neighbor_up(Address(4))
         engine.run(until=1.0)
+        task.table()
         assert task.spf_runs == 1
+        task.table()
+        task.next_hop(Address(2))
+        assert task.spf_runs == 1     # further queries stay free
 
     def test_force_spf_runs_immediately(self):
         engine = Engine()
@@ -232,3 +240,88 @@ class TestSpfScheduling:
                                 lambda m, e: floods.append(m) or 1)
         task.neighbor_up(Address(2))
         assert floods == []
+
+
+class TestCounterRename:
+    def test_refloded_alias_tracks_reflooded(self):
+        engine, _bus, tasks = build_topology([(1, 2), (2, 3)])
+        task = tasks[2]
+        assert task.lsas_reflooded > 0
+        # the deprecated misspelling must keep reporting the same value
+        assert task.lsas_refloded == task.lsas_reflooded
+
+
+class TestIncrementalSpf:
+    def test_seq_only_refresh_skips_dijkstra(self):
+        engine, _bus, tasks = build_topology([(1, 2), (2, 3)])
+        task = tasks[3]
+        table_before = task.table()
+        runs_before = task.spf_runs
+        # a pure sequence refresh: same neighbors, bumped seq
+        refreshed = Lsa(Address(1), 99, {Address(2): 1.0})
+        task.handle_lsa(RiepMessage(M_WRITE, obj=LSA_OBJ,
+                                    value=refreshed.to_value()), Address(2))
+        engine.run(until=engine.now + 5.0)
+        assert task.table() == table_before
+        assert task.spf_runs == runs_before          # Dijkstra elided
+        assert task.spf_skipped >= 1
+
+    def test_edge_change_still_recomputes(self):
+        engine, bus, tasks = build_topology([(1, 2), (2, 3), (3, 4), (4, 1)])
+        task = tasks[1]
+        assert task.next_hop(Address(2)) == Address(2)
+        runs_before = task.spf_runs
+        bus.unlink(Address(1), Address(2))
+        tasks[1].neighbor_down(Address(2))
+        tasks[2].neighbor_down(Address(1))
+        engine.run(until=engine.now + 10.0)
+        assert task.next_hop(Address(2)) == Address(4)
+        assert task.spf_runs > runs_before
+
+    def test_spf_is_lazy_until_queried(self):
+        engine = Engine()
+        task = LinkStateRouting(engine, lambda: Address(1),
+                                lambda m, e: 0, spf_delay=0.01)
+        task.neighbor_up(Address(2))
+        claim = Lsa(Address(2), 1, {Address(1): 1.0})
+        task.handle_lsa(RiepMessage(M_WRITE, obj=LSA_OBJ,
+                                    value=claim.to_value()), Address(2))
+        engine.run(until=1.0)
+        assert task.spf_runs == 0                    # nobody asked yet
+        assert task.next_hop(Address(2)) == Address(2)
+        assert task.spf_runs == 1                    # billed to the query
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_property_partial_spf_matches_full_recompute(self, seed):
+        """The dirty-region skip must be exact: a task with partial_spf
+        and one without, fed the identical LSA stream, always agree."""
+        rng = random.Random(seed)
+        nodes = list(range(2, 9))
+        engine = Engine()
+        fast = LinkStateRouting(engine, lambda: Address(1),
+                                lambda m, e: 0, spf_delay=0.001,
+                                partial_spf=True)
+        slow = LinkStateRouting(engine, lambda: Address(1),
+                                lambda m, e: 0, spf_delay=0.001,
+                                partial_spf=False)
+        for task in (fast, slow):
+            task.neighbor_up(Address(2))
+            task.neighbor_up(Address(3))
+        seqs = {n: 0 for n in nodes}
+        neighbor_sets = {n: {} for n in nodes}
+        for step in range(40):
+            origin = rng.choice(nodes)
+            peers = [n for n in [1] + nodes if n != origin]
+            count = rng.randint(0, min(3, len(peers)))
+            neighbor_sets[origin] = {
+                Address(p): float(rng.choice([1, 1, 2, 5]))
+                for p in rng.sample(peers, count)}
+            seqs[origin] += 1
+            lsa = Lsa(Address(origin), seqs[origin], neighbor_sets[origin])
+            for task in (fast, slow):
+                task.handle_lsa(
+                    RiepMessage(M_WRITE, obj=LSA_OBJ, value=lsa.to_value()),
+                    Address(origin))
+            engine.run(until=engine.now + 0.01)
+            assert fast.table() == slow.table(), f"diverged at step {step}"
+        assert fast.spf_runs <= slow.spf_runs

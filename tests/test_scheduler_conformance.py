@@ -102,6 +102,77 @@ class TestNoReorderingWithinFlow:
                 f"flow {flow} reordered: {served[flow]} vs {sent}"
 
 
+class TestMixedOpsOrderPreservation:
+    """Regression suite for the deque refactor: per-flow FIFO order must
+    survive arbitrary interleavings of enqueue and dequeue, not just the
+    drain-after-fill patterns the earlier tests used."""
+
+    def test_alternating_push_pop_single_flow(self, factory):
+        scheduler = factory()
+        sent, served = [], []
+        for index in range(30):
+            p = pdu(flow=3, priority=1)
+            sent.append(p.seq)
+            scheduler.push(p)
+            if index % 2 == 1:          # pop every other round
+                out = scheduler.pop()
+                served.append(out.seq)
+        while True:
+            out = scheduler.pop()
+            if out is None:
+                break
+            served.append(out.seq)
+        assert served == sent
+
+    def test_bursty_mixed_ops_keep_per_flow_order(self, factory):
+        scheduler = factory()
+        sent = {0: [], 1: [], 2: []}
+        served = {0: [], 1: [], 2: []}
+        priorities = {0: 0, 1: 3, 2: 7}
+        for burst in range(8):
+            for index in range(5):       # burst of pushes
+                flow = (burst + index) % 3
+                p = pdu(flow=flow, priority=priorities[flow])
+                sent[flow].append(p.seq)
+                scheduler.push(p)
+            for _ in range(3):           # partial drain
+                out = scheduler.pop()
+                if out is not None:
+                    served[out.src_cep].append(out.seq)
+        while True:
+            out = scheduler.pop()
+            if out is None:
+                break
+            served[out.src_cep].append(out.seq)
+        for flow in sent:
+            assert served[flow] == sent[flow], f"flow {flow} reordered"
+
+    @pytest.mark.parametrize("policy", sorted(SCHEDULER_FACTORIES))
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(st.integers(min_value=-1, max_value=8), min_size=1,
+                        max_size=150))
+    def test_property_mixed_ops_never_reorder_a_flow(self, policy, ops):
+        scheduler = SCHEDULER_FACTORIES[policy]()
+        sent = {flow: [] for flow in range(3)}
+        served = {flow: [] for flow in range(3)}
+        for op in ops:
+            if op < 0:
+                out = scheduler.pop()
+                if out is not None:
+                    served[out.src_cep].append(out.seq)
+            else:
+                flow = op % 3
+                p = pdu(flow=flow, priority=flow * 2)
+                if scheduler.push(p) is None:
+                    sent[flow].append(p.seq)
+        while True:
+            out = scheduler.pop()
+            if out is None:
+                break
+            served[out.src_cep].append(out.seq)
+        assert served == sent
+
+
 class TestDropAccounting:
     def test_every_pdu_served_once_or_displaced_once(self, factory):
         limit = 8

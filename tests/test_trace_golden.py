@@ -1,0 +1,56 @@
+"""Golden scenario-trace fingerprints.
+
+The hot-path work (deque FIFOs everywhere, incremental SPF, memoized
+two-way graphs, size caches, engine heap tuples) is required to be
+**byte-invisible**: a canned spec must produce exactly the trace it
+produced before the overhaul.  These SHA-256 fingerprints were captured
+from the pre-overhaul tree (PR 1 tip, seed 0, rina stack); any
+optimization that changes scheduling order, event counts, drop decisions,
+or float arithmetic anywhere in the stack shows up here as a mismatch.
+
+When a *deliberate* behavior change lands (new protocol feature, changed
+policy default), re-capture with::
+
+    PYTHONPATH=src python -c "
+    import hashlib
+    from repro.scenarios import CANNED, ScenarioRunner
+    for name in sorted(CANNED):
+        r = ScenarioRunner(CANNED[name](), seed=0); r.run('rina')
+        print(name, hashlib.sha256(r.trace.encode()).hexdigest())"
+
+and say so in the commit message — never re-capture to make an
+optimization pass.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.scenarios import CANNED, ScenarioRunner
+
+#: name -> sha256 of the rina-stack trace at seed 0, captured pre-overhaul.
+#: (ring-of-stars joined the registry after the capture; its determinism
+#: is covered by the generic two-run checks instead.)
+GOLDEN = {
+    "e3-e2e": "2361c1e40f69ce17cc263edcf459238bd391cf697e07bc5b6f57521f24a1f9e3",
+    "e3-scoped": "2294a2261316ea09a8ed4d9557993215f5dad2d199e25bc63d20bb5929b18852",
+    "e4-multihoming": "5a8c41b5117aa5829e25120c6f6868458df0a960aa22ce2b9e79f62cb304032f",
+    "e5-mobility": "3dbcc7040c3210e6c10e6939a7252e0d92aff7335c1f25a59a8fcbf19ee48ab4",
+    "fault-storm": "23d41f038bc9447f93e4776e66238faf98c035ca2d7bf2d169c0cbb32df91410",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_canned_trace_matches_pre_overhaul_fingerprint(name):
+    runner = ScenarioRunner(CANNED[name](), seed=0)
+    runner.run("rina")
+    digest = hashlib.sha256(runner.trace.encode()).hexdigest()
+    assert digest == GOLDEN[name], (
+        f"{name}: trace diverged from the pre-overhaul capture — an "
+        f"optimization leaked into observable behavior")
+
+
+def test_every_canned_spec_is_fingerprinted_or_newer():
+    # new canned specs are fine (no pre-overhaul capture exists), but a
+    # *removed* golden entry means coverage silently shrank
+    assert set(GOLDEN) <= set(CANNED)
