@@ -1,15 +1,16 @@
 """A2 — ablation (§3.1/§8): EFCP retransmission and congestion policies."""
 
-from repro.experiments.a2_efcp_policies import (run_congestion_ablation,
-                                                run_sweep)
+from repro.experiments.a2_efcp_policies import (iter_jobs,
+                                                run_congestion_ablation)
 from repro.experiments.common import format_table
 
 LOSSES = [0.0, 0.05, 0.1, 0.2]
 
 
-def test_a2_retransmission_policies(benchmark, table_sink):
+def test_a2_retransmission_policies(benchmark, table_sink, sweep):
+    jobs = iter_jobs(losses=LOSSES, total_bytes=80_000)
     rows = benchmark.pedantic(
-        lambda: run_sweep(LOSSES, total_bytes=80_000), rounds=1, iterations=1)
+        lambda: sweep.run(jobs), rounds=1, iterations=1)
     table_sink("A2 (§8 ablation): EFCP retransmission policy under loss",
                format_table(rows))
     by = {(r["retx"], r["loss"]): r for r in rows}

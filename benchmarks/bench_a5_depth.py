@@ -1,11 +1,11 @@
 """A5 — ablation (§1.2/§4): the cost of each level of recursion."""
 
-from repro.experiments.a5_depth import run_sweep
+from repro.experiments.a5_depth import iter_jobs
 from repro.experiments.common import format_table
 
 
-def test_a5_recursion_depth(benchmark, table_sink):
-    rows = benchmark.pedantic(lambda: run_sweep([1, 2, 3, 4]),
+def test_a5_recursion_depth(benchmark, table_sink, sweep):
+    rows = benchmark.pedantic(lambda: sweep.run(iter_jobs([1, 2, 3, 4])),
                               rounds=1, iterations=1)
     table_sink("A5 (§4 ablation): cost per recursion level on a clean wire",
                format_table(rows))

@@ -4,19 +4,17 @@ Regenerates the E1 table of EXPERIMENTS.md: reliable vs best-effort cubes
 across link loss rates, plus the port-id locality check.
 """
 
-from repro.core.qos import BEST_EFFORT, RELIABLE
 from repro.experiments.common import format_table
-from repro.experiments.e1_two_system import run_port_id_locality, run_sweep
+from repro.experiments.e1_two_system import iter_jobs, run_port_id_locality
 
 LOSSES = [0.0, 0.02, 0.05, 0.1, 0.2]
 
 
-def test_e1_loss_sweep(benchmark, table_sink):
-    def run():
-        rows = run_sweep(LOSSES, RELIABLE, messages=150)
-        rows += run_sweep([0.1, 0.2], BEST_EFFORT, messages=150)
-        return rows
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_e1_loss_sweep(benchmark, table_sink, sweep):
+    jobs = iter_jobs(reliable_losses=LOSSES, best_effort_losses=[0.1, 0.2],
+                     messages=150)
+    rows = benchmark.pedantic(lambda: sweep.run(jobs),
+                              rounds=1, iterations=1)
     table_sink("E1 (Fig 1): two-system IPC under link loss",
                format_table(rows))
     reliable = [r for r in rows if r["qos"] == "reliable"]

@@ -1,11 +1,11 @@
 """E2 — Figure 2: IPC through dedicated relaying systems (hop sweep)."""
 
 from repro.experiments.common import format_table
-from repro.experiments.e2_relay import run_sweep
+from repro.experiments.e2_relay import iter_jobs
 
 
-def test_e2_relay_chain(benchmark, table_sink):
-    rows = benchmark.pedantic(lambda: run_sweep([1, 2, 4, 8]),
+def test_e2_relay_chain(benchmark, table_sink, sweep):
+    rows = benchmark.pedantic(lambda: sweep.run(iter_jobs([1, 2, 4, 8])),
                               rounds=1, iterations=1)
     table_sink("E2 (Fig 2): relaying through 1-8 dedicated systems",
                format_table(rows))

@@ -2,18 +2,14 @@
 recovery only (loss sweep)."""
 
 from repro.experiments.common import format_table
-from repro.experiments.e3_scoped_recovery import run_bursty, run_sweep
+from repro.experiments.e3_scoped_recovery import iter_jobs
 
 LOSSES = [0.0, 0.05, 0.1, 0.2, 0.3]
 
 
-def test_e3_scoped_vs_e2e(benchmark, table_sink):
-    def run():
-        rows = run_sweep(LOSSES, total_bytes=120_000)
-        rows.append(run_bursty("e2e"))
-        rows.append(run_bursty("scoped"))
-        return rows
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_e3_scoped_vs_e2e(benchmark, table_sink, sweep):
+    jobs = iter_jobs(losses=LOSSES, total_bytes=120_000)
+    rows = benchmark.pedantic(lambda: sweep.run(jobs), rounds=1, iterations=1)
     table_sink("E3 (Fig 3/§6.2): goodput with vs without a wireless-scope DIF",
                format_table(rows))
     by = {(r["config"], r["loss"]): r for r in rows}

@@ -4,7 +4,9 @@ plus the scale tier (wall-clock and events/sec at up to 1,021 systems)."""
 import os
 
 from repro.experiments.common import format_table
-from repro.experiments.e6_scalability import run_scale, run_sweep
+from repro.experiments.e6_scalability import (iter_jobs, iter_scale_jobs,
+                                              run_scale)
+from repro.sweeps import SweepRunner
 
 SIZES = [(3, 4), (4, 8), (5, 12)]   # (regions, hosts/region)
 
@@ -17,16 +19,20 @@ SEED_FLAT_5x10_EVENTS_PER_S = 48_500
 def test_e6_scale_tier(benchmark, table_sink):
     """Scale rows: record wall-clock and events/sec so hot-path
     regressions surface in the bench JSON instead of silently rotting.
-    Set REPRO_E6_SCALE=large to include the 1,021-system tier."""
+    Set REPRO_E6_SCALE=large to include the 1,021-system tier.
+
+    Deliberately *not* on the shared ``sweep`` fixture: these rows ARE
+    wall-clock measurements, and concurrent cold-interpreter workers
+    contending for CPU would deflate events_per_s — the serial runner
+    keeps the recorded numbers meaning single-process throughput even
+    when REPRO_JOBS parallelizes the rest of the bench suite."""
     run_scale("flat", 5, 10)   # warm interpreter caches off the clock
-    def rows_fn():
-        rows = [run_scale("flat", 5, 10),
-                run_scale("recursive", 5, 10),
-                run_scale("recursive", 10, 20)]
-        if os.environ.get("REPRO_E6_SCALE") == "large":
-            rows.append(run_scale("recursive", 20, 50))
-        return rows
-    rows = benchmark.pedantic(rows_fn, rounds=1, iterations=1)
+    tiers = ["small", "medium"]
+    if os.environ.get("REPRO_E6_SCALE") == "large":
+        tiers.append("large")
+    jobs = iter_scale_jobs(tiers)
+    rows = benchmark.pedantic(lambda: SweepRunner(workers=1).run(jobs),
+                              rounds=1, iterations=1)
     table_sink("E6-scale (§6.5): build wall-clock and events/sec",
                format_table(rows))
     for row in rows:
@@ -47,8 +53,9 @@ def test_e6_scale_tier(benchmark, table_sink):
         assert row["max_table"] < row["systems"] / 3, row
 
 
-def test_e6_state_and_scope(benchmark, table_sink):
-    rows = benchmark.pedantic(lambda: run_sweep(SIZES), rounds=1, iterations=1)
+def test_e6_state_and_scope(benchmark, table_sink, sweep):
+    rows = benchmark.pedantic(lambda: sweep.run(iter_jobs(sizes=SIZES)),
+                              rounds=1, iterations=1)
     table_sink("E6 (§6.5): per-system routing state and failure-update scope",
                format_table(rows))
     flat = [r for r in rows if r["config"] == "flat"]

@@ -3,14 +3,15 @@ per multiplexing policy)."""
 
 from repro.experiments.common import format_table
 from repro.experiments.e8_utilization import (achievable_utilization,
-                                              run_sweep)
+                                              iter_jobs)
 
 LOADS = [0.4, 0.6, 0.8, 0.9, 1.0, 1.1]
 
 
-def test_e8_utilization_before_violation(benchmark, table_sink):
+def test_e8_utilization_before_violation(benchmark, table_sink, sweep):
+    jobs = iter_jobs(loads=LOADS, duration=5.0)
     rows = benchmark.pedantic(
-        lambda: run_sweep(LOADS, duration=5.0), rounds=1, iterations=1)
+        lambda: sweep.run(jobs), rounds=1, iterations=1)
     best = achievable_utilization(rows)
     summary = [{"scheduler": name, "max_load_meeting_sla": load}
                for name, load in sorted(best.items())]

@@ -1,8 +1,11 @@
 """S1 — scenario harness sweep: generated fault schedules on both stacks.
 
 Runs the canned ``fault-storm`` (all five injectors) plus a batch of
-generator-sampled specs on the recursive-IPC stack and the IP baseline,
-and re-runs one spec to assert the determinism contract end to end.
+generator-sampled specs on the recursive-IPC stack and the IP baseline.
+Each (spec, stack) pair is one sweep job executing the spec **twice**
+and comparing traces — the determinism contract, now enforced for every
+cell rather than one spot check — so the sweep parallelizes under
+``REPRO_JOBS`` like the experiment batteries.
 
 ``REPRO_SCENARIO_BUDGET_S`` (seconds of *simulated* time) caps every
 scenario's duration — CI smoke-runs the sweep with a 10 s event budget.
@@ -11,7 +14,7 @@ scenario's duration — CI smoke-runs the sweep with a 10 s event budget.
 import os
 
 from repro.experiments.common import format_table
-from repro.scenarios import ScenarioRunner, fault_storm, generate_specs
+from repro.scenarios import determinism_jobs, fault_storm, generate_specs
 
 SEED = 11
 BUDGET_S = float(os.environ.get("REPRO_SCENARIO_BUDGET_S", "0") or 0)
@@ -25,40 +28,24 @@ def _specs():
     return specs
 
 
-def test_s1_scenario_sweep(benchmark, table_sink):
+def test_s1_scenario_sweep(benchmark, table_sink, sweep):
     specs = _specs()
+    jobs = determinism_jobs(specs, seed=SEED, group="s1")
 
-    def run():
-        rows, traces = [], {}
-        for spec in specs:
-            for stack in ("rina", "ip"):
-                runner = ScenarioRunner(spec, seed=SEED)
-                metrics = runner.run(stack)
-                traces[(spec.name, stack)] = runner.trace
-                rows.append({
-                    "scenario": metrics["scenario"],
-                    "stack": stack,
-                    "faults": len(spec.faults),
-                    "echo": (f"{metrics['echo_delivered']}"
-                             f"/{metrics['echo_sent']}"),
-                    "goodput_mbps": metrics["goodput_mbps"],
-                    "worst_outage_s": metrics["worst_outage_s"],
-                    "events": metrics["events"],
-                })
-        return rows, traces
-
-    rows, traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(lambda: sweep.run(jobs), rounds=1, iterations=1)
     table_sink("S1: scenario harness sweep (fault-storm + generated specs)",
-               format_table(rows))
+               format_table(rows,
+                            columns=["scenario", "stack", "faults", "echo",
+                                     "goodput_mbps", "worst_outage_s",
+                                     "deterministic"]))
 
-    # every (spec, stack) pair produced a row and a non-empty trace
+    # every (spec, stack) pair produced a row with a real trace behind it
     assert len(rows) == 2 * len(specs)
-    assert all(trace for trace in traces.values())
+    assert all(row["trace_sha256"] for row in rows)
 
-    # determinism spot check: a second run of the storm is byte-identical
-    rerun = ScenarioRunner(specs[0], seed=SEED)
-    rerun.run("rina")
-    assert rerun.trace == traces[(specs[0].name, "rina")]
+    # the determinism contract holds cell by cell (each job ran its spec
+    # twice and compared traces byte for byte)
+    assert all(row["deterministic"] for row in rows)
 
     # the architecture under test rides out the storm at least as well as
     # the baseline (reliable flows recover; UDP probes do not)

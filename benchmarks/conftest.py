@@ -1,13 +1,30 @@
 """Benchmark-suite plumbing: collect result tables and print them after the
 pytest-benchmark timing summary, plus persist them under benchmarks/results/.
+
+Also home of the ``sweep`` fixture: the bench sweeps execute their
+configuration lists (``iter_jobs()`` data from the experiment modules)
+through a shared :class:`repro.sweeps.SweepRunner`.  Serial by default —
+single-process timing is what the recorded numbers mean — but set
+``REPRO_JOBS=N`` and the whole bench battery fans out over N workers
+(rows still merge in job order, so the printed tables and assertions
+are unchanged).
 """
 
 import os
 
 import pytest
 
+from repro.sweeps import JOBS_ENV, SweepRunner, parse_worker_count
+
 _TABLES = []
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """Session-wide sweep runner: ``REPRO_JOBS`` workers, default 1."""
+    env = os.environ.get(JOBS_ENV)
+    return SweepRunner(workers=parse_worker_count(env) if env else 1)
 
 
 @pytest.fixture

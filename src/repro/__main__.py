@@ -6,10 +6,19 @@ Usage::
     python -m repro e1              # run one experiment, print its table
     python -m repro e3 e4           # several in sequence
     python -m repro all             # the whole battery
+    python -m repro all --jobs 4    # ... swept over a 4-worker pool
 
     python -m repro scenarios list
     python -m repro scenarios run [--seed N] [--stack rina|ip|both] \
-        fault-storm spec.json gen:3
+        [--jobs N] fault-storm spec.json gen:3
+
+Every experiment exposes its configuration list as data
+(``iter_jobs()``), so the battery is a flat job list dispatched over a
+``multiprocessing`` pool (``--jobs N``, or ``REPRO_JOBS``, default
+``os.cpu_count()``; ``--jobs 1`` is the in-process serial path).  Rows
+merge back **in job order, not completion order** — output is
+bit-for-bit independent of scheduling, which ``tests/test_sweeps.py``
+enforces.
 
 ``scenarios run`` executes each spec on the requested stacks **twice**
 and verifies the two runs produce byte-identical traces (the determinism
@@ -19,97 +28,149 @@ contract); the exit code is non-zero if any run diverges.
 from __future__ import annotations
 
 import json
+import os
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .experiments.common import format_table
+from .sweeps import Job, SweepRunner, default_worker_count, parse_worker_count
 
 
-def _e1() -> List[dict]:
-    from .core.qos import BEST_EFFORT, RELIABLE
-    from .experiments.e1_two_system import run_sweep
-    return (run_sweep([0.0, 0.05, 0.1, 0.2], RELIABLE, messages=150)
-            + run_sweep([0.1, 0.2], BEST_EFFORT, messages=150))
+def _e1_jobs() -> List[Job]:
+    from .experiments.e1_two_system import iter_jobs
+    return iter_jobs()
 
 
-def _e2() -> List[dict]:
-    from .experiments.e2_relay import run_sweep
-    return run_sweep([1, 2, 4, 8])
+def _e2_jobs() -> List[Job]:
+    from .experiments.e2_relay import iter_jobs
+    return iter_jobs()
 
 
-def _e3() -> List[dict]:
-    from .experiments.e3_scoped_recovery import run_bursty, run_sweep
-    rows = run_sweep([0.0, 0.1, 0.2, 0.3], total_bytes=120_000)
-    rows.append(run_bursty("e2e"))
-    rows.append(run_bursty("scoped"))
-    return rows
+def _e3_jobs() -> List[Job]:
+    from .experiments.e3_scoped_recovery import iter_jobs
+    return iter_jobs()
 
 
-def _e4() -> List[dict]:
-    from .experiments.e4_multihoming import run_comparison
-    return run_comparison()
+def _e4_jobs() -> List[Job]:
+    from .experiments.e4_multihoming import iter_jobs
+    return iter_jobs()
 
 
-def _e5() -> List[dict]:
-    from .experiments.e5_mobility import run_comparison, run_rina
-    rows = run_comparison()
-    rows += [r for r in run_rina(make_before_break=False)
-             if r["move"] == "inter-region"]
-    return rows
+def _e5_jobs() -> List[Job]:
+    from .experiments.e5_mobility import iter_jobs
+    return iter_jobs()
 
 
-def _e6() -> List[dict]:
-    from .experiments.e6_scalability import run_sweep
-    return run_sweep([(3, 4), (4, 8)])
+def _e6_jobs() -> List[Job]:
+    from .experiments.e6_scalability import iter_jobs
+    return iter_jobs()
 
 
-def _e6_scale() -> List[dict]:
-    import os
-    from .experiments.e6_scalability import run_scale_tier
+def _e6_scale_jobs() -> List[Job]:
+    from .experiments.e6_scalability import iter_scale_jobs
     tiers = os.environ.get("REPRO_E6_SCALE_TIERS", "small,medium,large")
-    return run_scale_tier([t.strip() for t in tiers.split(",") if t.strip()])
+    return iter_scale_jobs([t.strip() for t in tiers.split(",") if t.strip()])
 
 
-def _e7() -> List[dict]:
-    from .experiments.e7_security import run_comparison
-    return run_comparison()
+def _e7_jobs() -> List[Job]:
+    from .experiments.e7_security import iter_jobs
+    return iter_jobs()
 
 
-def _e8() -> List[dict]:
-    from .experiments.e8_utilization import run_sweep
-    return run_sweep([0.5, 0.8, 0.9, 1.0, 1.1], duration=4.0)
+def _e8_jobs() -> List[Job]:
+    from .experiments.e8_utilization import iter_jobs
+    return iter_jobs()
 
 
-def _e9() -> List[dict]:
-    from .experiments.e9_private_addresses import run_comparison
-    return run_comparison()
+def _e9_jobs() -> List[Job]:
+    from .experiments.e9_private_addresses import iter_jobs
+    return iter_jobs()
 
 
-def _a1() -> List[dict]:
-    from .experiments.a1_addressing import run_comparison
-    return run_comparison(side=5)
+def _a1_jobs() -> List[Job]:
+    from .experiments.a1_addressing import iter_jobs
+    return iter_jobs()
 
 
-def _a2() -> List[dict]:
-    from .experiments.a2_efcp_policies import run_sweep
-    return run_sweep([0.0, 0.05, 0.1, 0.2], total_bytes=80_000)
+def _a2_jobs() -> List[Job]:
+    from .experiments.a2_efcp_policies import iter_jobs
+    return iter_jobs()
 
 
 EXPERIMENTS: Dict[str, tuple] = {
-    "e1": ("Fig 1: two-system IPC under loss", _e1),
-    "e2": ("Fig 2: relaying through dedicated systems", _e2),
-    "e3": ("Fig 3/§6.2: wireless-scope DIF vs end-to-end", _e3),
-    "e4": ("Fig 4/§6.3: multihoming failover vs TCP/SCTP", _e4),
-    "e5": ("Fig 5/§6.4: mobility vs Mobile-IP (+A4 ablation)", _e5),
-    "e6": ("§6.5: flat vs recursive routing state", _e6),
+    "e1": ("Fig 1: two-system IPC under loss", _e1_jobs),
+    "e2": ("Fig 2: relaying through dedicated systems", _e2_jobs),
+    "e3": ("Fig 3/§6.2: wireless-scope DIF vs end-to-end", _e3_jobs),
+    "e4": ("Fig 4/§6.3: multihoming failover vs TCP/SCTP", _e4_jobs),
+    "e5": ("Fig 5/§6.4: mobility vs Mobile-IP (+A4 ablation)", _e5_jobs),
+    "e6": ("§6.5: flat vs recursive routing state", _e6_jobs),
     "e6-scale": ("§6.5 scale tier: 56/211/1,021-system builds, "
-                 "wall-clock + events/sec (REPRO_E6_SCALE_TIERS)", _e6_scale),
-    "e7": ("§6.1: attack surface", _e7),
-    "e8": ("§6.6: utilization before QoS violation", _e8),
-    "e9": ("§6.5/§6.7: private addressing without NAT", _e9),
-    "a1": ("ablation: addressing policies", _a1),
-    "a2": ("ablation: EFCP policies", _a2),
+                 "wall-clock + events/sec (REPRO_E6_SCALE_TIERS)",
+                 _e6_scale_jobs),
+    "e7": ("§6.1: attack surface", _e7_jobs),
+    "e8": ("§6.6: utilization before QoS violation", _e8_jobs),
+    "e9": ("§6.5/§6.7: private addressing without NAT", _e9_jobs),
+    "a1": ("ablation: addressing policies", _a1_jobs),
+    "a2": ("ablation: EFCP policies", _a2_jobs),
 }
+
+
+def _extract_worker_count(args: List[str]
+                          ) -> Tuple[List[str], Optional[int], Optional[str]]:
+    """Pull ``--jobs N`` out of an argument list.
+
+    Returns (remaining args, worker count or None, error message or
+    None).  The flag may appear anywhere; validation rejects 0, negative
+    counts, and non-integers.
+    """
+    remaining: List[str] = []
+    workers: Optional[int] = None
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--jobs":
+            index += 1
+            if index >= len(args):
+                return remaining, None, "--jobs requires a value"
+            try:
+                workers = parse_worker_count(args[index])
+            except ValueError as exc:
+                return remaining, None, f"--jobs: {exc}"
+        elif arg.startswith("--jobs="):
+            try:
+                workers = parse_worker_count(arg[len("--jobs="):])
+            except ValueError as exc:
+                return remaining, None, f"--jobs: {exc}"
+        else:
+            remaining.append(arg)
+        index += 1
+    return remaining, workers, None
+
+
+def _resolve_workers(flag_value: Optional[int]) -> int:
+    """The effective worker count: ``--jobs`` beats ``REPRO_JOBS`` beats
+    ``os.cpu_count()`` (raises :class:`ValueError` on a bad env value).
+
+    Called only on the paths that actually dispatch jobs — a bad
+    ``REPRO_JOBS`` must not break ``repro`` (help) or ``scenarios
+    list``, which never touch a pool.
+    """
+    if flag_value is not None:
+        return flag_value
+    return default_worker_count()
+
+
+def _make_runner(workers_flag: Optional[int]
+                 ) -> Tuple[Optional[SweepRunner], Optional[str]]:
+    """Build the sweep runner, or report the misconfigured knob."""
+    try:
+        workers = _resolve_workers(workers_flag)
+    except ValueError as exc:
+        return None, f"REPRO_JOBS: {exc}"
+    try:
+        return SweepRunner(workers=workers), None
+    except ValueError as exc:
+        return None, f"REPRO_START_METHOD: {exc}"
 
 
 def _load_scenarios(names: List[str], seed: int) -> List:
@@ -130,9 +191,11 @@ def _load_scenarios(names: List[str], seed: int) -> List:
     return scenarios
 
 
-def scenarios_main(argv: List[str]) -> int:
-    """The ``scenarios`` subcommand."""
-    from .scenarios import CANNED, ScenarioRunner
+def scenarios_main(argv: List[str],
+                   workers_flag: Optional[int] = None) -> int:
+    """The ``scenarios`` subcommand (``workers_flag`` = parsed ``--jobs``
+    value, or None to fall back to ``REPRO_JOBS`` / cpu count)."""
+    from .scenarios import CANNED
     if not argv or argv[0] == "list":
         print("canned scenarios:")
         for name in sorted(CANNED):
@@ -182,25 +245,18 @@ def scenarios_main(argv: List[str]) -> int:
     except (OSError, ValueError, TypeError) as exc:
         print(f"cannot load scenario spec: {exc}", file=sys.stderr)
         return 2
-    rows, divergent = [], 0
-    for scenario in scenarios:
-        for stack in stacks:
-            first = ScenarioRunner(scenario, seed=seed)
-            metrics = first.run(stack)
-            second = ScenarioRunner(scenario, seed=seed)
-            second.run(stack)
-            deterministic = first.trace == second.trace
-            divergent += 0 if deterministic else 1
-            rows.append({
-                "scenario": metrics["scenario"],
-                "stack": stack,
-                "echo": f"{metrics['echo_delivered']}/{metrics['echo_sent']}",
-                "goodput_mbps": metrics["goodput_mbps"],
-                "worst_outage_s": metrics["worst_outage_s"],
-                "faults": len(scenario.faults),
-                "deterministic": deterministic,
-            })
-    print(format_table(rows, title=f"scenarios (seed={seed}, two runs each)"))
+    runner, error = _make_runner(workers_flag)
+    if runner is None:
+        print(error, file=sys.stderr)
+        return 2
+    from .scenarios import determinism_jobs
+    rows = runner.run(determinism_jobs(scenarios, seed=seed, stacks=stacks))
+    divergent = sum(1 for row in rows if not row["deterministic"])
+    print(format_table(rows,
+                       columns=["scenario", "stack", "echo", "goodput_mbps",
+                                "worst_outage_s", "faults", "deterministic"],
+                       title=f"scenarios (seed={seed}, two runs each, "
+                             f"jobs={runner.workers})"))
     if divergent:
         print(f"\nDETERMINISM VIOLATION in {divergent} run(s)",
               file=sys.stderr)
@@ -211,26 +267,43 @@ def scenarios_main(argv: List[str]) -> int:
 
 def main(argv: List[str]) -> int:
     """Entry point; returns a process exit code."""
+    argv, workers_flag, error = _extract_worker_count(argv)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     if not argv:
         print("repro — 'Networking is IPC' (Day/Matta/Mattar 2008), "
               "executable reproduction\n")
-        print("usage: python -m repro <experiment> [...] | all\n"
+        print("usage: python -m repro <experiment> [...] | all [--jobs N]\n"
               "       python -m repro scenarios list|run ...\n")
-        for key, (title, _fn) in EXPERIMENTS.items():
+        for key, (title, _jobs_fn) in EXPERIMENTS.items():
             print(f"  {key}   {title}")
         print("\n(see also: pytest benchmarks/ --benchmark-only, examples/)")
         return 0
     if argv[0] == "scenarios":
-        return scenarios_main(argv[1:])
+        return scenarios_main(argv[1:], workers_flag=workers_flag)
     wanted = list(EXPERIMENTS) if argv == ["all"] else argv
     unknown = [key for key in wanted if key not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    runner, error = _make_runner(workers_flag)
+    if runner is None:
+        print(error, file=sys.stderr)
+        return 2
+    # one flat job list across all requested experiments, so the pool
+    # overlaps work across table boundaries; results stream back in job
+    # order, so each experiment's table prints as soon as its slice of
+    # the battery completes (a late failure can't eat earlier tables)
+    batches: List[Tuple[str, str, List[Job]]] = []
     for key in wanted:
-        title, runner = EXPERIMENTS[key]
+        title, jobs_fn = EXPERIMENTS[key]
+        batches.append((key, title, list(jobs_fn())))
+    all_jobs = [job for _key, _title, jobs in batches for job in jobs]
+    results = runner.imap(all_jobs)
+    for key, title, jobs in batches:
+        rows = [row for _job in jobs for row in next(results)]
         print(f"\n=== {key}: {title} ===")
-        rows = runner()
         print(format_table(rows))
     return 0
 

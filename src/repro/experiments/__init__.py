@@ -1,8 +1,12 @@
 """Experiment harnesses — one module per figure/claim of the paper.
 
-Each module exposes ``run_*`` functions returning plain dict rows; the
-``benchmarks/`` suite times them and prints the paper-style tables, and
-``tests/test_experiments.py`` asserts the qualitative shapes.  See
+Each module exposes ``run_*`` functions returning plain dict rows, plus
+an ``iter_jobs()`` that renders its default configuration sweep as a
+list of picklable :class:`repro.sweeps.Job` data — the form the
+multi-process sweep runner (CLI ``--jobs N``, bench ``REPRO_JOBS``)
+dispatches over a worker pool.  The ``benchmarks/`` suite times the
+sweeps and prints the paper-style tables, and
+``tests/test_experiments.py`` asserts the qualitative shapes; see
 DESIGN.md §4 for the experiment index and EXPERIMENTS.md for results.
 
 * ``e1_two_system``         — Fig 1: one IPC layer between two hosts

@@ -31,6 +31,7 @@ from ..core import (Dif, DifPolicies, FlatAddressing, Orchestrator,
                     aggregate_forwarding_table, build_dif_over, lookup_aggregated,
                     make_systems, shim_between)
 from ..sim.network import Network
+from ..sweeps import Job
 
 
 def build_grid_dif(side: int, policy: str, seed: int = 1):
@@ -121,4 +122,12 @@ def run_policy(policy: str, side: int = 4, seed: int = 1) -> Dict[str, Any]:
 def run_comparison(side: int = 4, seed: int = 1) -> List[Dict[str, Any]]:
     """The A1 table: all three policies."""
     return [run_policy(policy, side, seed)
+            for policy in ("flat", "topological", "mismatched")]
+
+
+def iter_jobs(side: int = 5, seed: int = 1) -> List[Job]:
+    """The A1 table as data: one job per addressing policy."""
+    return [Job("repro.experiments.a1_addressing:run_policy",
+                kwargs={"policy": policy, "side": side, "seed": seed},
+                group="a1", label=f"a1 {policy}")
             for policy in ("flat", "topological", "mismatched")]

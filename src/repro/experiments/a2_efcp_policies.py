@@ -25,6 +25,7 @@ from ..core import (BEST_EFFORT, RELIABLE, Dif, DifPolicies, Orchestrator,
                     shim_between)
 from ..sim.link import UniformLoss
 from ..sim.network import Network
+from ..sweeps import Job
 from .common import goodput_bps
 
 
@@ -95,6 +96,18 @@ def run_sweep(losses: List[float], total_bytes: int = 100_000,
         for retx in ("selective", "gobackn", "none"):
             rows.append(run_policy(retx, loss, total_bytes, seed=seed))
     return rows
+
+
+def iter_jobs(losses: List[float] = (0.0, 0.05, 0.1, 0.2),
+              total_bytes: int = 80_000, seed: int = 1) -> List[Job]:
+    """The A2 table as data: one job per (loss, retx policy), in the
+    :func:`run_sweep` row order."""
+    return [Job("repro.experiments.a2_efcp_policies:run_policy",
+                kwargs={"retx": retx, "loss": loss,
+                        "total_bytes": total_bytes, "seed": seed},
+                group="a2", label=f"a2 {retx} loss={loss}")
+            for loss in losses
+            for retx in ("selective", "gobackn", "none")]
 
 
 def run_congestion_ablation(loss: float = 0.02, total_bytes: int = 200_000,

@@ -18,6 +18,7 @@ from ..apps.filetransfer import FileSender, FileSink
 from ..core import (RELIABLE, Dif, DifPolicies, Orchestrator, add_shims,
                     build_dif_over, make_systems, run_until, shim_between)
 from ..sim.network import Network
+from ..sweeps import Job
 from .common import goodput_bps
 
 
@@ -87,3 +88,13 @@ def run_sweep(depths: List[int], total_bytes: int = 100_000,
               seed: int = 1) -> List[Dict[str, Any]]:
     """The A5 table."""
     return [run_depth(depth, total_bytes, seed) for depth in depths]
+
+
+def iter_jobs(depths: List[int] = (1, 2, 3, 4), total_bytes: int = 100_000,
+              seed: int = 1) -> List[Job]:
+    """The A5 table as data: one job per stack depth."""
+    return [Job("repro.experiments.a5_depth:run_depth",
+                kwargs={"depth": depth, "total_bytes": total_bytes,
+                        "seed": seed},
+                group="a5", label=f"a5 depth={depth}")
+            for depth in depths]

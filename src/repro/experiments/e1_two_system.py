@@ -12,14 +12,16 @@ requested properties rather than a fixed service.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence, Union
 
 from ..apps.echo import EchoClient, EchoServer
 from ..core import (BEST_EFFORT, RELIABLE, Dif, DifPolicies, Orchestrator,
                     QosCube, add_shims, build_dif_over, make_systems,
                     run_until, shim_between)
+from ..core.qos import DEFAULT_CUBES
 from ..sim.link import UniformLoss
 from ..sim.network import Network
+from ..sweeps import Job
 from .common import goodput_bps
 
 
@@ -41,9 +43,16 @@ def build_two_hosts(loss: float = 0.0, seed: int = 1,
     return network, systems, dif
 
 
-def run_transfer(loss: float, qos: QosCube, messages: int = 200,
+def run_transfer(loss: float, qos: Union[QosCube, str], messages: int = 200,
                  size: int = 600, seed: int = 1) -> Dict[str, Any]:
-    """One row: send ``messages`` of ``size`` bytes under ``loss``."""
+    """One row: send ``messages`` of ``size`` bytes under ``loss``.
+
+    ``qos`` may be a :class:`QosCube` or the name of a default cube —
+    the string form is what sweep :class:`~repro.sweeps.Job`\\ s use, so
+    their kwargs stay picklable pure data.
+    """
+    if isinstance(qos, str):
+        qos = DEFAULT_CUBES[qos]
     network, systems, _dif = build_two_hosts(loss=loss, seed=seed)
     server = EchoServer(systems["h2"])
     network.run(until=network.engine.now + 0.5)
@@ -72,10 +81,24 @@ def run_transfer(loss: float, qos: QosCube, messages: int = 200,
     }
 
 
-def run_sweep(losses: List[float], qos: QosCube,
+def run_sweep(losses: List[float], qos: Union[QosCube, str],
               messages: int = 200, seed: int = 1) -> List[Dict[str, Any]]:
     """Table: one row per loss rate."""
     return [run_transfer(loss, qos, messages=messages, seed=seed)
+            for loss in losses]
+
+
+def iter_jobs(reliable_losses: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+              best_effort_losses: Sequence[float] = (0.1, 0.2),
+              messages: int = 150, seed: int = 1) -> List[Job]:
+    """The E1 table as data: one job per (loss, cube) point, in the
+    serial table order (reliable sweep, then best-effort)."""
+    return [Job("repro.experiments.e1_two_system:run_transfer",
+                kwargs={"loss": loss, "qos": cube, "messages": messages,
+                        "seed": seed},
+                group="e1", label=f"e1 {cube} loss={loss}")
+            for cube, losses in (("reliable", reliable_losses),
+                                 ("best-effort", best_effort_losses))
             for loss in losses]
 
 

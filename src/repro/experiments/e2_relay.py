@@ -12,12 +12,13 @@ state, the paper's transport/relaying integration point).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from ..apps.echo import EchoClient, EchoServer
 from ..core import (RELIABLE, Dif, DifPolicies, Orchestrator, add_shims,
                     build_dif_over, make_systems, run_until, shim_between)
 from ..sim.network import Network
+from ..sweeps import Job
 
 
 def build_chain(routers: int, seed: int = 1, capacity_bps: float = 2e7,
@@ -73,3 +74,12 @@ def run_relay(routers: int, messages: int = 50, size: int = 400,
 def run_sweep(router_counts: List[int], seed: int = 1) -> List[Dict[str, Any]]:
     """Table: one row per chain length."""
     return [run_relay(count, seed=seed) for count in router_counts]
+
+
+def iter_jobs(router_counts: Sequence[int] = (1, 2, 4, 8),
+              seed: int = 1) -> List[Job]:
+    """The E2 table as data: one job per chain length."""
+    return [Job("repro.experiments.e2_relay:run_relay",
+                kwargs={"routers": count, "seed": seed},
+                group="e2", label=f"e2 routers={count}")
+            for count in router_counts]

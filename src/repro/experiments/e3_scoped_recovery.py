@@ -32,7 +32,7 @@ collapses — and the gap widens with loss rate.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from ..apps.filetransfer import FileSender, FileSink
 from ..core import RELIABLE, run_until
@@ -41,6 +41,7 @@ from ..scenarios.canned import E3_WIRELESS_BPS as WIRELESS_BPS
 from ..scenarios.canned import e3_scenario
 from ..scenarios.runner import build_rina_stack
 from ..sim.link import GilbertElliott
+from ..sweeps import Job
 from .common import goodput_bps
 
 
@@ -132,6 +133,24 @@ def run_sweep(losses: List[float], total_bytes: int = 150_000,
             rows.append(run_transfer(config, loss, total_bytes=total_bytes,
                                      seed=seed, wired_delay=wired_delay))
     return rows
+
+
+def iter_jobs(losses: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+              total_bytes: int = 120_000, seed: int = 1,
+              bursty: bool = True) -> List[Job]:
+    """The E3 table as data: (loss × config) transfer points in the
+    serial sweep order, then the two bursty companion rows."""
+    jobs = [Job("repro.experiments.e3_scoped_recovery:run_transfer",
+                kwargs={"config": config, "loss": loss,
+                        "total_bytes": total_bytes, "seed": seed},
+                group="e3", label=f"e3 {config} loss={loss}")
+            for loss in losses for config in ("e2e", "scoped")]
+    if bursty:
+        jobs += [Job("repro.experiments.e3_scoped_recovery:run_bursty",
+                     kwargs={"config": config, "seed": seed},
+                     group="e3", label=f"e3 {config} bursty")
+                 for config in ("e2e", "scoped")]
+    return jobs
 
 
 def _efcp_retransmissions(system, dif_name: str) -> int:

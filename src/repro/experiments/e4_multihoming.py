@@ -29,6 +29,7 @@ from ..scenarios.canned import e4_scenario
 from ..scenarios.faults import FaultContext, make_injector
 from ..scenarios.runner import build_rina_stack, build_topology
 from ..sim.network import Network
+from ..sweeps import Job
 from .common import delivery_gap
 
 SEND_PERIOD = 0.05
@@ -191,3 +192,18 @@ def run_comparison(seed: int = 1,
     rows.append(run_tcp(seed=seed))
     rows.append(run_sctp(seed=seed))
     return rows
+
+
+def iter_jobs(rina_keepalives: Optional[List[float]] = None,
+              seed: int = 1) -> List[Job]:
+    """The E4 table as data: one job per stack/parameterization, in the
+    :func:`run_comparison` row order."""
+    jobs = [Job("repro.experiments.e4_multihoming:run_rina",
+                kwargs={"keepalive_interval": keepalive, "seed": seed},
+                group="e4", label=f"e4 rina keepalive={keepalive}")
+            for keepalive in (rina_keepalives or [0.1, 0.2, 0.5])]
+    jobs.append(Job("repro.experiments.e4_multihoming:run_tcp",
+                    kwargs={"seed": seed}, group="e4", label="e4 tcp"))
+    jobs.append(Job("repro.experiments.e4_multihoming:run_sctp",
+                    kwargs={"seed": seed}, group="e4", label="e4 sctp"))
+    return jobs

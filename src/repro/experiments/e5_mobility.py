@@ -40,6 +40,7 @@ from ..core import Dif, run_until, shim_name_for
 from ..scenarios.canned import e5_scenario
 from ..scenarios.runner import build_rina_stack, build_topology
 from ..sim.network import Network
+from ..sweeps import Job
 from .common import delivery_gap
 
 REGIONS = {
@@ -297,3 +298,23 @@ def run_mobileip(seed: int = 1, detection_delay: float = 0.1) -> List[Dict[str, 
 def run_comparison(seed: int = 1) -> List[Dict[str, Any]]:
     """Full E5 table: RINA moves then Mobile-IP moves."""
     return run_rina(seed) + run_mobileip(seed)
+
+
+def run_rina_break_before_make(seed: int = 1) -> List[Dict[str, Any]]:
+    """The A4 ablation rows: the inter-region move *without*
+    make-before-break (enrollment starts only after the old PoA drops)."""
+    return [row for row in run_rina(seed, make_before_break=False)
+            if row["move"] == "inter-region"]
+
+
+def iter_jobs(seed: int = 1) -> List[Job]:
+    """The E5 table as data: the RINA moves, the Mobile-IP moves, then
+    the A4 break-before-make ablation."""
+    return [
+        Job("repro.experiments.e5_mobility:run_rina",
+            kwargs={"seed": seed}, group="e5", label="e5 rina"),
+        Job("repro.experiments.e5_mobility:run_mobileip",
+            kwargs={"seed": seed}, group="e5", label="e5 mobile-ip"),
+        Job("repro.experiments.e5_mobility:run_rina_break_before_make",
+            kwargs={"seed": seed}, group="e5", label="e5 rina(bbm)"),
+    ]

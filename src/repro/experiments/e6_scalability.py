@@ -31,6 +31,7 @@ from ..apps.echo import EchoClient, EchoServer
 from ..core import (Dif, DifPolicies, Orchestrator, add_shims, build_dif_over,
                     make_systems, run_until, shim_between)
 from ..sim.network import Network
+from ..sweeps import Job
 
 #: The scale tier: named (regions, hosts/region) sizes the hot-path work
 #: opened up.  ``large`` is 1,021 systems — the "scales indefinitely"
@@ -283,19 +284,11 @@ def run_scale(config: str, regions: int, hosts_per_region: int,
 
 
 def run_scale_tier(tiers: List[str], seed: int = 1) -> List[Dict[str, Any]]:
-    """Scale rows for the named :data:`SCALE_SIZES` tiers: the flat DIF at
-    the small size (every member carries the whole graph — the quadratic
-    baseline) and the recursive stack at every requested tier."""
-    rows = []
-    for tier in tiers:
-        if tier not in SCALE_SIZES:
-            raise ValueError(f"unknown scale tier {tier!r}; "
-                             f"known: {', '.join(SCALE_SIZES)}")
-        regions, hosts = SCALE_SIZES[tier]
-        if tier == "small":
-            rows.append(run_scale("flat", regions, hosts, seed))
-        rows.append(run_scale("recursive", regions, hosts, seed))
-    return rows
+    """Scale rows for the named :data:`SCALE_SIZES` tiers, executed
+    in-process (:func:`iter_scale_jobs` is the single source of the
+    tier enumeration)."""
+    return [row for job in iter_scale_jobs(tiers, seed)
+            for row in job.run()]
 
 
 def run_sweep(sizes: List[Tuple[int, int]], seed: int = 1) -> List[Dict[str, Any]]:
@@ -306,6 +299,43 @@ def run_sweep(sizes: List[Tuple[int, int]], seed: int = 1) -> List[Dict[str, Any
         rows.append(run_config("recursive", regions, hosts, seed))
         rows.append(run_config("ip+rip", regions, hosts, seed))
     return rows
+
+
+def iter_jobs(sizes: List[Tuple[int, int]] = ((3, 4), (4, 8)),
+              seed: int = 1) -> List[Job]:
+    """The E6 table as data: per size, the flat, recursive, and ip+rip
+    configurations (the :func:`run_sweep` row order)."""
+    return [Job("repro.experiments.e6_scalability:run_config",
+                kwargs={"config": config, "regions": regions,
+                        "hosts_per_region": hosts, "seed": seed},
+                group="e6", label=f"e6 {config} {regions}x{hosts}")
+            for regions, hosts in sizes
+            for config in ("flat", "recursive", "ip+rip")]
+
+
+def iter_scale_jobs(tiers: List[str] = ("small", "medium", "large"),
+                    seed: int = 1) -> List[Job]:
+    """The scale tier as data: flat at the small size (the quadratic
+    baseline), recursive at every requested tier — the
+    :func:`run_scale_tier` row order.  Scale rows carry wall-clock
+    fields (:data:`repro.sweeps.WALL_CLOCK_KEYS`), so only their
+    deterministic columns are covered by serial equivalence."""
+    jobs = []
+    for tier in tiers:
+        if tier not in SCALE_SIZES:
+            raise ValueError(f"unknown scale tier {tier!r}; "
+                             f"known: {', '.join(SCALE_SIZES)}")
+        regions, hosts = SCALE_SIZES[tier]
+        if tier == "small":
+            jobs.append(Job("repro.experiments.e6_scalability:run_scale",
+                            kwargs={"config": "flat", "regions": regions,
+                                    "hosts_per_region": hosts, "seed": seed},
+                            group="e6-scale", label=f"e6-scale flat {tier}"))
+        jobs.append(Job("repro.experiments.e6_scalability:run_scale",
+                        kwargs={"config": "recursive", "regions": regions,
+                                "hosts_per_region": hosts, "seed": seed},
+                        group="e6-scale", label=f"e6-scale recursive {tier}"))
+    return jobs
 
 
 def verify_end_to_end(regions: int = 3, hosts_per_region: int = 4,

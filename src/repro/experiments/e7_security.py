@@ -35,6 +35,7 @@ from ..core.names import DifName
 from ..core.pdu import DataPdu, ManagementPdu
 from ..core.names import Address
 from ..sim.network import Network
+from ..sweeps import Job
 
 
 def _provider_topology(seed: int = 1) -> Network:
@@ -219,3 +220,17 @@ def run_comparison(seed: int = 1) -> List[Dict[str, Any]]:
     rows.append(run_rina_insider_acl(seed=seed))
     rows.append(run_ip_scan(seed=seed))
     return rows
+
+
+def iter_jobs(seed: int = 1) -> List[Job]:
+    """The E7 table as data: the three outsider auth policies, the
+    insider ACL row, and the IP scan baseline."""
+    jobs = [Job("repro.experiments.e7_security:run_rina_outsider",
+                kwargs={"auth": auth, "seed": seed},
+                group="e7", label=f"e7 outsider auth={auth}")
+            for auth in ("challenge", "psk", "none")]
+    jobs.append(Job("repro.experiments.e7_security:run_rina_insider_acl",
+                    kwargs={"seed": seed}, group="e7", label="e7 insider"))
+    jobs.append(Job("repro.experiments.e7_security:run_ip_scan",
+                    kwargs={"seed": seed}, group="e7", label="e7 ip scan"))
+    return jobs

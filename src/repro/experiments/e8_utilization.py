@@ -32,6 +32,7 @@ from ..core import (BEST_EFFORT, LOW_LATENCY, Dif, DifPolicies, Orchestrator,
                     add_shims, build_dif_over, make_systems, run_until,
                     shim_between)
 from ..sim.network import Network
+from ..sweeps import Job
 from .common import percentile
 
 BOTTLENECK_BPS = 1e7
@@ -121,6 +122,19 @@ def run_sweep(loads: List[float], schedulers: Optional[List[str]] = None,
         for load in loads:
             rows.append(run_point(scheduler, load, duration, seed))
     return rows
+
+
+def iter_jobs(loads: List[float] = (0.5, 0.8, 0.9, 1.0, 1.1),
+              schedulers: Optional[List[str]] = None,
+              duration: float = 4.0, seed: int = 1) -> List[Job]:
+    """The E8 table as data: one job per (scheduler, offered load), in
+    the :func:`run_sweep` row order."""
+    return [Job("repro.experiments.e8_utilization:run_point",
+                kwargs={"scheduler": scheduler, "load": load,
+                        "duration": duration, "seed": seed},
+                group="e8", label=f"e8 {scheduler} load={load}")
+            for scheduler in (schedulers or ["fifo", "priority", "drr"])
+            for load in loads]
 
 
 def achievable_utilization(rows: List[Dict[str, Any]]) -> Dict[str, float]:

@@ -31,6 +31,7 @@ from ..core import (ApplicationName, Dif, DifPolicies, FlatAddressing,
                     FlowWaiter, Orchestrator, add_shims, build_dif_over,
                     make_systems, run_until, shim_between)
 from ..sim.network import Network
+from ..sweeps import Job
 
 
 def _site_topology(sites: int, hosts_per_site: int, seed: int = 1) -> Network:
@@ -246,4 +247,21 @@ def run_comparison(sites: int = 3, hosts_per_site: int = 2,
     return [
         run_ip_nat(sites, hosts_per_site, flows_per_host, port_pool, seed),
         run_rina(sites, hosts_per_site, flows_per_host, seed),
+    ]
+
+
+def iter_jobs(sites: int = 3, hosts_per_site: int = 2,
+              flows_per_host: int = 40, port_pool: int = 64,
+              seed: int = 1) -> List[Job]:
+    """The E9 table as data: the NAT world, then the DIF world."""
+    return [
+        Job("repro.experiments.e9_private_addresses:run_ip_nat",
+            kwargs={"sites": sites, "hosts_per_site": hosts_per_site,
+                    "flows_per_host": flows_per_host, "port_pool": port_pool,
+                    "seed": seed},
+            group="e9", label="e9 ip+nat"),
+        Job("repro.experiments.e9_private_addresses:run_rina",
+            kwargs={"sites": sites, "hosts_per_site": hosts_per_site,
+                    "flows_per_host": flows_per_host, "seed": seed},
+            group="e9", label="e9 rina"),
     ]

@@ -26,7 +26,8 @@ from .faults import (INJECTORS, CongestionBurst, FaultContext, FaultInjector,
                      make_injector)
 from .generate import generate_scenario, generate_specs
 from .runner import (RinaStack, ScenarioRunner, build_rina_stack,
-                     build_topology, run_scenario)
+                     build_topology, canned_trace_digest, determinism_jobs,
+                     run_determinism_row, run_scenario)
 from .spec import (FAULT_KINDS, SHIM, TOPOLOGY_FAMILIES, WORKLOAD_KINDS,
                    FaultSpec, LayerSpec, LinkSpec, Scenario, SpecError,
                    TopologySpec, WorkloadSpec, auto_layers)
@@ -38,7 +39,8 @@ __all__ = [
     "FaultContext", "FaultInjector", "LinkFlap", "LinkDegrade", "NodeCrash",
     "Partition", "CongestionBurst", "INJECTORS", "make_injector",
     "ScenarioRunner", "RinaStack", "build_rina_stack", "build_topology",
-    "run_scenario",
+    "run_scenario", "run_determinism_row", "canned_trace_digest",
+    "determinism_jobs",
     "generate_scenario", "generate_specs",
     "CANNED", "canned", "fault_storm", "e3_scenario", "e4_scenario",
     "e5_scenario", "ring_of_stars",

@@ -13,6 +13,7 @@ Two runs of the same spec with the same seed must produce identical traces
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -559,3 +560,67 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         runner = ScenarioRunner(scenario, seed=seed)
         rows.append(runner.run(stack))
     return rows
+
+
+# ----------------------------------------------------------------------
+# Sweep-job targets (picklable pure-data entry points)
+# ----------------------------------------------------------------------
+def run_determinism_row(spec: Dict[str, Any], seed: int = 0,
+                        stack: str = "rina") -> Dict[str, Any]:
+    """One (spec, stack) cell of the ``scenarios run`` table.
+
+    Takes the scenario in its :meth:`Scenario.to_dict` form so a sweep
+    :class:`~repro.sweeps.Job` can carry it across a ``spawn`` process
+    boundary as pure data.  Executes the spec **twice** and compares the
+    traces — the determinism contract — and reports the trace digest so
+    callers can additionally compare across processes.
+    """
+    scenario = Scenario.from_dict(spec)
+    first = ScenarioRunner(scenario, seed=seed)
+    metrics = first.run(stack)
+    second = ScenarioRunner(scenario, seed=seed)
+    second.run(stack)
+    return {
+        "scenario": metrics["scenario"],
+        "stack": stack,
+        "echo": f"{metrics['echo_delivered']}/{metrics['echo_sent']}",
+        "goodput_mbps": metrics["goodput_mbps"],
+        "worst_outage_s": metrics["worst_outage_s"],
+        "faults": len(scenario.faults),
+        "deterministic": first.trace == second.trace,
+        "trace_sha256": hashlib.sha256(first.trace.encode()).hexdigest(),
+    }
+
+
+def determinism_jobs(scenarios: List[Scenario], seed: int = 0,
+                     stacks: Tuple[str, ...] = STACKS,
+                     group: str = "scenarios") -> List["Job"]:
+    """The :func:`run_determinism_row` job list for a scenario batch:
+    one job per (spec, stack), specs serialized to pure data.  The
+    single source of this construction for the CLI, the S1 bench, and
+    the equivalence tests."""
+    from ..sweeps import Job
+    return [Job("repro.scenarios.runner:run_determinism_row",
+                kwargs={"spec": scenario.to_dict(), "seed": seed,
+                        "stack": stack},
+                group=group, label=f"{scenario.name}/{stack}")
+            for scenario in scenarios for stack in stacks]
+
+
+def canned_trace_digest(name: str, seed: int = 0,
+                        stack: str = "rina") -> Dict[str, Any]:
+    """Row: the SHA-256 of one canned spec's trace.
+
+    Job target for the golden-fingerprint worker checks: a trace
+    produced inside a pool worker (under any start method) must match
+    the pinned in-process digest.
+    """
+    from .canned import canned
+    runner = ScenarioRunner(canned(name), seed=seed)
+    runner.run(stack)
+    return {
+        "name": name,
+        "seed": seed,
+        "stack": stack,
+        "sha256": hashlib.sha256(runner.trace.encode()).hexdigest(),
+    }

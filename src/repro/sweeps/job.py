@@ -1,0 +1,90 @@
+"""One sweep configuration as picklable pure data.
+
+A :class:`Job` never holds live objects (engines, sockets, QoS cubes):
+the target is a ``"package.module:function"`` string resolved by import
+*in the executing process*, and the kwargs are JSON-safe scalars and
+containers.  That is what lets a job cross a ``spawn`` process boundary
+unchanged, and what makes a job list itself data — serializable,
+diffable, and replayable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+class JobError(ValueError):
+    """A malformed job: bad target reference or non-row result."""
+
+
+@dataclass
+class Job:
+    """One unit of sweep work: call ``target(**kwargs)``, collect rows.
+
+    ``target`` is a ``"module:function"`` reference; the function must
+    return either one row dict or a list of row dicts.  ``group`` tags
+    the job with the sweep it belongs to (the experiment key, a scenario
+    batch name) so merged results can be regrouped; ``label`` is a short
+    human-readable description of the configuration.
+    """
+
+    target: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    group: str = ""
+    label: str = ""
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the target callable (raises :class:`JobError`
+        on a reference that does not name a module-level callable)."""
+        module_name, sep, func_name = self.target.partition(":")
+        if not sep or not module_name or not func_name:
+            raise JobError(f"job target {self.target!r} is not of the form "
+                           f"'module:function'")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise JobError(f"job target {self.target!r}: {exc}") from exc
+        fn = getattr(module, func_name, None)
+        if not callable(fn):
+            raise JobError(f"job target {self.target!r} does not name a "
+                           f"callable")
+        return fn
+
+    def run(self) -> List[Dict[str, Any]]:
+        """Execute the job in this process; always returns a row list."""
+        result = self.resolve()(**self.kwargs)
+        if isinstance(result, dict):
+            return [result]
+        if isinstance(result, list) and all(isinstance(r, dict)
+                                            for r in result):
+            return result
+        raise JobError(f"job {self.target!r} returned {type(result).__name__}"
+                       f", expected a row dict or a list of row dicts")
+
+
+# ----------------------------------------------------------------------
+# Trivial built-in targets (test and smoke hooks)
+# ----------------------------------------------------------------------
+def echo_row(delay_s: float = 0.0, **kwargs: Any) -> Dict[str, Any]:
+    """Return the kwargs as a row — a deterministic no-op job target.
+
+    ``delay_s`` sleeps before returning: tests use it to force completion
+    order to differ from job order and assert the merge ignores it.
+    """
+    if delay_s > 0:
+        time.sleep(delay_s)
+    row = dict(kwargs)
+    row["delay_s"] = delay_s
+    return row
+
+
+def worker_info_row(**kwargs: Any) -> Dict[str, Any]:
+    """Row carrying the executing process id — lets tests assert that a
+    pool really placed the job in another process."""
+    row = dict(kwargs)
+    row["pid"] = os.getpid()
+    return row

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import (EXPERIMENTS, _extract_worker_count, main,
+                            scenarios_main)
+from repro.sweeps import JOBS_ENV
 
 
 class TestCli:
@@ -21,8 +23,109 @@ class TestCli:
                                     "e6-scale", "e7", "e8", "e9", "a1", "a2"}
 
     def test_single_experiment_prints_table(self, capsys, monkeypatch):
-        monkeypatch.setitem(EXPERIMENTS, "e2",
-                            ("stub", lambda: [{"routers": 1, "ok": True}]))
+        from repro.sweeps import Job
+        stub_jobs = [Job("repro.sweeps.job:echo_row",
+                         kwargs={"routers": 1, "ok": True}, group="e2")]
+        monkeypatch.setitem(EXPERIMENTS, "e2", ("stub", lambda: stub_jobs))
         assert main(["e2"]) == 0
         out = capsys.readouterr().out
         assert "routers" in out and "stub" in out
+
+    def test_experiment_registry_entries_build_job_lists(self):
+        for key, (_title, jobs_fn) in EXPERIMENTS.items():
+            if key == "e6-scale":
+                continue    # builds large tiers by default; covered below
+            jobs = list(jobs_fn())
+            assert jobs, key
+            assert all(job.group == key for job in jobs), key
+
+    def test_e6_scale_registry_honours_tier_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_E6_SCALE_TIERS", "small")
+        _title, jobs_fn = EXPERIMENTS["e6-scale"]
+        labels = [job.label for job in jobs_fn()]
+        assert labels == ["e6-scale flat small", "e6-scale recursive small"]
+
+
+class TestJobsFlag:
+    """``--jobs`` parsing and the ``REPRO_JOBS`` fallback."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "two", "1.5", ""])
+    def test_rejects_non_positive_and_non_integers(self, capsys, value):
+        assert main(["e2", "--jobs", value]) == 2
+        assert "worker count" in capsys.readouterr().err
+
+    def test_rejects_missing_value(self, capsys):
+        assert main(["e2", "--jobs"]) == 2
+        assert "--jobs requires a value" in capsys.readouterr().err
+
+    def test_equals_form_is_accepted(self):
+        args, workers, error = _extract_worker_count(["e2", "--jobs=3"])
+        assert (args, workers, error) == (["e2"], 3, None)
+
+    def test_flag_position_is_free(self):
+        args, workers, error = _extract_worker_count(["--jobs", "2", "e1",
+                                                      "e2"])
+        assert (args, workers, error) == (["e1", "e2"], 2, None)
+
+    def test_flag_runs_experiment_through_pool(self, capsys, monkeypatch):
+        from repro.sweeps import Job
+        stub_jobs = [Job("repro.sweeps.job:worker_info_row",
+                         kwargs={"index": i}, group="e2") for i in range(3)]
+        monkeypatch.setitem(EXPERIMENTS, "e2", ("stub", lambda: stub_jobs))
+        assert main(["e2", "--jobs", "2"]) == 0
+        assert "index" in capsys.readouterr().out
+
+    def test_env_override_is_used_when_flag_absent(self, monkeypatch):
+        seen = {}
+
+        class Recorder:
+            def __init__(self, workers=None, **_kwargs):
+                seen["workers"] = workers
+            def imap(self, jobs):
+                return iter([[] for _job in jobs])
+            def map(self, jobs):
+                return [[] for _job in jobs]
+            def run(self, jobs):
+                return []
+
+        monkeypatch.setattr("repro.__main__.SweepRunner", Recorder)
+        monkeypatch.setitem(EXPERIMENTS, "e2", ("stub", lambda: []))
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert main(["e2"]) == 0
+        assert seen["workers"] == 3
+        # the explicit flag beats the environment
+        assert main(["e2", "--jobs", "2"]) == 0
+        assert seen["workers"] == 2
+
+    @pytest.mark.parametrize("value", ["0", "-2", "many"])
+    def test_invalid_env_value_is_an_error(self, capsys, monkeypatch, value):
+        monkeypatch.setitem(EXPERIMENTS, "e2", ("stub", lambda: []))
+        monkeypatch.setenv(JOBS_ENV, value)
+        assert main(["e2"]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_invalid_start_method_env_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "e2", ("stub", lambda: []))
+        monkeypatch.setenv("REPRO_START_METHOD", "Spawn")
+        assert main(["e2"]) == 2
+        assert "REPRO_START_METHOD" in capsys.readouterr().err
+
+    def test_invalid_env_does_not_break_poolless_commands(self, capsys,
+                                                          monkeypatch):
+        # help and `scenarios list` never dispatch jobs, so a bad
+        # REPRO_JOBS must not turn them into errors
+        monkeypatch.setenv(JOBS_ENV, "bogus")
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+        assert main(["scenarios", "list"]) == 0
+        assert "canned scenarios" in capsys.readouterr().out
+
+    def test_scenarios_run_accepts_jobs_flag(self, capsys):
+        assert main(["scenarios", "run", "--jobs", "2", "--seed", "5",
+                     "--stack", "rina", "gen:2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out and "byte-identical" in out
+
+    def test_scenarios_jobs_validation_matches_experiments(self, capsys):
+        assert main(["scenarios", "run", "--jobs", "-1", "fault-storm"]) == 2
+        assert "worker count" in capsys.readouterr().err

@@ -37,6 +37,26 @@ class TestFormatTable:
         text = format_table([{"a": 1, "b": 2}], columns=["b"])
         assert "a" not in text.splitlines()[0]
 
+    def test_heterogeneous_row_keys_follow_first_row(self):
+        # merged sweep rows need not share a schema (E6 ip+rip rows carry
+        # updates_per_s, DIF rows don't): the first row picks the columns,
+        # later-only keys are dropped, holes render as dashes
+        rows = [{"config": "flat", "mean_table": 55.0},
+                {"config": "ip+rip", "mean_table": 7.4, "updates_per_s": 12.0},
+                {"config": "recursive"}]
+        text = format_table(rows)
+        header, _rule, first, second, third = text.splitlines()
+        assert "updates_per_s" not in header
+        assert "12" not in second
+        assert third.split()[-1] == "-"
+
+    def test_heterogeneous_rows_with_explicit_column_union(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows, columns=["a", "b"])
+        _header, _rule, first, second = text.splitlines()
+        assert first.split() == ["1", "-"]
+        assert second.split() == ["-", "2"]
+
 
 class TestMetricsHelpers:
     def test_goodput(self):
@@ -55,6 +75,20 @@ class TestMetricsHelpers:
     def test_percentile_empty_nan(self):
         assert math.isnan(percentile([], 50))
 
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_property_percentile_extremes_are_min_and_max(self, values):
+        # nearest-rank at the endpoints: pct=0 clamps to the first
+        # order statistic, pct=100 is exactly the last
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0, max_value=100))
+    def test_property_single_element_percentile_is_that_element(self, value,
+                                                                pct):
+        assert percentile([value], pct) == value
+
 
 class TestDeliveryGap:
     def test_simple_outage(self):
@@ -63,6 +97,12 @@ class TestDeliveryGap:
 
     def test_no_deliveries_after_is_infinite(self):
         assert math.isinf(delivery_gap([0.1, 0.2], 0.5))
+
+    def test_empty_deliveries_is_infinite(self):
+        # a workload that never delivered anything is an unbounded
+        # outage, not a crash (and not zero)
+        assert math.isinf(delivery_gap([], 0.0))
+        assert math.isinf(delivery_gap([], 123.4))
 
     def test_in_flight_delivery_does_not_mask_outage(self):
         # one delivery right after the failure, then a long silence

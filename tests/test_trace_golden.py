@@ -54,3 +54,27 @@ def test_every_canned_spec_is_fingerprinted_or_newer():
     # new canned specs are fine (no pre-overhaul capture exists), but a
     # *removed* golden entry means coverage silently shrank
     assert set(GOLDEN) <= set(CANNED)
+
+
+def test_golden_fingerprints_reproduce_inside_pool_workers():
+    """Traces produced in a worker process match the pinned in-process
+    SHA-256s.
+
+    Run under the ``spawn`` start method deliberately: the child
+    re-imports the whole stack from scratch, so fork-inherited state
+    can't mask platform-dependent drift (RNG seeding, string interning,
+    import order) or pickling bugs in the job plumbing.  Any divergence
+    between an in-process trace and a worker trace would silently break
+    the sweep runner's serial-equivalence contract.
+    """
+    from repro.sweeps import Job, SweepRunner
+    jobs = [Job("repro.scenarios.runner:canned_trace_digest",
+                kwargs={"name": name}, group="golden", label=name)
+            for name in sorted(GOLDEN)]
+    rows = SweepRunner(workers=2, start_method="spawn").run(jobs)
+    assert [row["name"] for row in rows] == sorted(GOLDEN)
+    for row in rows:
+        assert row["sha256"] == GOLDEN[row["name"]], (
+            f"{row['name']}: worker-process trace diverged from the pinned "
+            f"in-process fingerprint — fork/spawn-dependent state leaked "
+            f"into the simulation")
