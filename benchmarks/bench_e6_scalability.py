@@ -4,8 +4,8 @@ plus the scale tier (wall-clock and events/sec at up to 1,021 systems)."""
 import os
 
 from repro.experiments.common import format_table
-from repro.experiments.e6_scalability import (iter_jobs, iter_scale_jobs,
-                                              run_scale)
+from repro.experiments.e6_scalability import (iter_flood_jobs, iter_jobs,
+                                              iter_scale_jobs, run_scale)
 from repro.sweeps import SweepRunner
 
 SIZES = [(3, 4), (4, 8), (5, 12)]   # (regions, hosts/region)
@@ -51,6 +51,36 @@ def test_e6_scale_tier(benchmark, table_sink):
     assert flat["mean_table"] == flat["systems"] - 1
     for row in rows[1:]:
         assert row["max_table"] < row["systems"] / 3, row
+
+
+def test_e6_sharded_flood_tier(benchmark, table_sink):
+    """The sharded row: the flat configuration's flooding fan-out split
+    over per-region engines exchanging boundary frames.
+
+    Serial runner for the same reason as the scale tier (the rows are
+    wall-clock measurements); the sharded run's own coordinator decides
+    between in-process rounds and per-region worker processes.  The
+    deliveries/events columns are deterministic and must be invariant
+    across shard counts — that is the conservative-lookahead contract
+    (the bit-exact 2-region equivalence is pinned in
+    ``tests/test_shard.py``).
+    """
+    tiers = ["small", "medium"]
+    if os.environ.get("REPRO_E6_SCALE") == "large":
+        tiers.append("large")
+    jobs = iter_flood_jobs(tiers, shards=2)
+    rows = benchmark.pedantic(lambda: SweepRunner(workers=1).run(jobs),
+                              rounds=1, iterations=1)
+    table_sink("E6-shard (§6.5): flooding fan-out, unsharded vs sharded",
+               format_table(rows))
+    for unsharded, sharded in zip(rows[::2], rows[1::2]):
+        assert unsharded["shards"] == 1 and sharded["shards"] == 2
+        assert sharded["deliveries"] == unsharded["deliveries"]
+        assert sharded["events"] == unsharded["events"]
+        assert sharded["frames_relayed"] > 0
+        # every system hears every other system's announcement
+        n = unsharded["systems"]
+        assert unsharded["deliveries"] == n * (n - 1)
 
 
 def test_e6_state_and_scope(benchmark, table_sink, sweep):

@@ -11,6 +11,7 @@ are unchanged).
 """
 
 import os
+import re
 
 import pytest
 
@@ -27,14 +28,24 @@ def sweep():
     return SweepRunner(workers=parse_worker_count(env) if env else 1)
 
 
+def _slug(title: str) -> str:
+    """Filesystem-safe result-file stem from a table title.
+
+    The first word, lowercased, with everything outside ``[a-z0-9-]``
+    stripped — so ``"E1b: ..."`` lands in ``e1b.txt``, not ``e1b:.txt``.
+    """
+    slug = re.sub(r"[^a-z0-9-]", "",
+                  title.split(" ")[0].lower().replace("/", "-"))
+    return slug or "table"
+
+
 @pytest.fixture
 def table_sink():
     """Fixture: call ``sink(title, text)`` to report an experiment table."""
     def sink(title: str, text: str) -> None:
         _TABLES.append((title, text))
         os.makedirs(_RESULTS_DIR, exist_ok=True)
-        slug = title.split(" ")[0].lower().replace("/", "-")
-        path = os.path.join(_RESULTS_DIR, f"{slug}.txt")
+        path = os.path.join(_RESULTS_DIR, f"{_slug(title)}.txt")
         with open(path, "w") as handle:
             handle.write(title + "\n\n" + text + "\n")
     return sink

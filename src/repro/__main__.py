@@ -105,7 +105,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "e5": ("Fig 5/§6.4: mobility vs Mobile-IP (+A4 ablation)", _e5_jobs),
     "e6": ("§6.5: flat vs recursive routing state", _e6_jobs),
     "e6-scale": ("§6.5 scale tier: 56/211/1,021-system builds, "
-                 "wall-clock + events/sec (REPRO_E6_SCALE_TIERS)",
+                 "wall-clock + events/sec (REPRO_E6_SCALE_TIERS; "
+                 "--shards N adds the sharded flood tier)",
                  _e6_scale_jobs),
     "e7": ("§6.1: attack surface", _e7_jobs),
     "e8": ("§6.6: utilization before QoS violation", _e8_jobs),
@@ -115,36 +116,75 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-def _extract_worker_count(args: List[str]
-                          ) -> Tuple[List[str], Optional[int], Optional[str]]:
-    """Pull ``--jobs N`` out of an argument list.
+def _extract_int_flag(args: List[str], flag: str, noun: str
+                      ) -> Tuple[List[str], Optional[int], Optional[str]]:
+    """Pull ``<flag> N`` (or ``<flag>=N``) out of an argument list.
 
-    Returns (remaining args, worker count or None, error message or
-    None).  The flag may appear anywhere; validation rejects 0, negative
-    counts, and non-integers.
+    Returns (remaining args, value or None, error message or None).
+    The flag may appear anywhere; validation rejects 0, negative
+    counts, and non-integers, naming the quantity ``noun`` in errors.
     """
     remaining: List[str] = []
-    workers: Optional[int] = None
+    value: Optional[int] = None
     index = 0
     while index < len(args):
         arg = args[index]
-        if arg == "--jobs":
+        if arg == flag:
             index += 1
             if index >= len(args):
-                return remaining, None, "--jobs requires a value"
+                return remaining, None, f"{flag} requires a value"
             try:
-                workers = parse_worker_count(args[index])
+                value = parse_worker_count(args[index], noun=noun)
             except ValueError as exc:
-                return remaining, None, f"--jobs: {exc}"
-        elif arg.startswith("--jobs="):
+                return remaining, None, f"{flag}: {exc}"
+        elif arg.startswith(flag + "="):
             try:
-                workers = parse_worker_count(arg[len("--jobs="):])
+                value = parse_worker_count(arg[len(flag) + 1:], noun=noun)
             except ValueError as exc:
-                return remaining, None, f"--jobs: {exc}"
+                return remaining, None, f"{flag}: {exc}"
         else:
             remaining.append(arg)
         index += 1
-    return remaining, workers, None
+    return remaining, value, None
+
+
+def _extract_worker_count(args: List[str]
+                          ) -> Tuple[List[str], Optional[int], Optional[str]]:
+    """Pull ``--jobs N`` out of an argument list."""
+    return _extract_int_flag(args, "--jobs", "worker count")
+
+
+def _extract_shard_count(args: List[str]
+                         ) -> Tuple[List[str], Optional[int], Optional[str]]:
+    """Pull ``--shards N`` out of an argument list."""
+    return _extract_int_flag(args, "--shards", "shard count")
+
+
+def _sharded_scale_main(shards: int, workers_flag: Optional[int]) -> int:
+    """``repro e6-scale --shards N``: the sharded flood tier.
+
+    Each job is one whole sharded run whose coordinator spawns its own
+    per-region workers, so the sweep itself defaults to serial dispatch
+    (``--jobs`` still overrides; inside a pool worker the coordinator
+    falls back to in-process rounds).
+    """
+    from .experiments.e6_scalability import iter_flood_jobs
+    tiers = os.environ.get("REPRO_E6_SCALE_TIERS", "small,medium,large")
+    try:
+        jobs = iter_flood_jobs([t.strip() for t in tiers.split(",")
+                                if t.strip()], shards=shards)
+    except ValueError as exc:
+        print(f"REPRO_E6_SCALE_TIERS: {exc}", file=sys.stderr)
+        return 2
+    runner, error = _make_runner(1 if workers_flag is None else workers_flag)
+    if runner is None:
+        print(error, file=sys.stderr)
+        return 2
+    rows = runner.run(jobs)
+    print(format_table(
+        rows, title=f"e6-shard: flat flooding fan-out, unsharded vs "
+                    f"{shards}-way region shards"))
+    return 0
 
 
 def _resolve_workers(flag_value: Optional[int]) -> int:
@@ -271,10 +311,21 @@ def main(argv: List[str]) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
+    argv, shards_flag, error = _extract_shard_count(argv)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if shards_flag is not None:
+        if argv != ["e6-scale"]:
+            print("--shards applies to `repro e6-scale` only",
+                  file=sys.stderr)
+            return 2
+        return _sharded_scale_main(shards_flag, workers_flag)
     if not argv:
         print("repro — 'Networking is IPC' (Day/Matta/Mattar 2008), "
               "executable reproduction\n")
         print("usage: python -m repro <experiment> [...] | all [--jobs N]\n"
+              "       python -m repro e6-scale --shards N\n"
               "       python -m repro scenarios list|run ...\n")
         for key, (title, _jobs_fn) in EXPERIMENTS.items():
             print(f"  {key}   {title}")

@@ -38,7 +38,13 @@ class DifDirectory:
         # origin address -> (seq, set of names registered there)
         self._remote: Dict[Address, Tuple[int, Set[ApplicationName]]] = {}
         self.updates_received = 0
-        self.updates_refloded = 0
+        self.updates_reflooded = 0
+
+    @property
+    def updates_refloded(self) -> int:
+        """Deprecated misspelling of :attr:`updates_reflooded` (kept so
+        old analysis notebooks keep reading the counter)."""
+        return self.updates_reflooded
 
     # ------------------------------------------------------------------
     # Local registrations
@@ -101,7 +107,7 @@ class DifDirectory:
             return
         names = {ApplicationName.parse(text) for text in value["names"]}
         self._remote[origin] = (seq, names)
-        self.updates_refloded += 1
+        self.updates_reflooded += 1
         self._flood(message, from_neighbor)
 
     def sync_snapshot(self) -> List[dict]:

@@ -264,9 +264,9 @@ def run_scale(config: str, regions: int, hosts_per_region: int,
                         network.link_between("h0_1", "border0").name)
     wall = time.perf_counter() - started
     events = network.engine.events_processed
-    reflooded = sum(ipcp.routing.lsas_reflooded
-                    for dif in difs.values()
-                    for ipcp in dif.members().values())
+    members = [ipcp for dif in difs.values()
+               for ipcp in dif.members().values()]
+    reflooded = sum(ipcp.routing.lsas_reflooded for ipcp in members)
     return {
         "config": f"{config}-scale",
         "systems": 1 + regions * (1 + hosts_per_region),
@@ -276,6 +276,12 @@ def run_scale(config: str, regions: int, hosts_per_region: int,
         "total_state": stats["total_state"],
         "flap_update_scope": scope,
         "lsas_reflooded": reflooded,
+        # the lazy-SPF summary: how much Dijkstra the PR-2 laziness
+        # avoided across every member of this tier's stack
+        "spf_runs": sum(ipcp.routing.spf_runs for ipcp in members),
+        "spf_skipped": sum(ipcp.routing.spf_skipped for ipcp in members),
+        "spf_partial_skips": sum(ipcp.routing.spf_partial_skips
+                                 for ipcp in members),
         "build_s": round(build_wall, 2),
         "wall_s": round(wall, 2),
         "events": events,
@@ -335,6 +341,141 @@ def iter_scale_jobs(tiers: List[str] = ("small", "medium", "large"),
                         kwargs={"config": "recursive", "regions": regions,
                                 "hosts_per_region": hosts, "seed": seed},
                         group="e6-scale", label=f"e6-scale recursive {tier}"))
+    return jobs
+
+
+def build_flood_spec(regions: int, hosts_per_region: int):
+    """The E6 physical plant as a pure-data
+    :class:`~repro.shard.plan.NetworkSpec` (same shape as
+    :func:`build_physical`, shardable by region)."""
+    from ..shard import LinkSpec, NetworkSpec
+    nodes = ["core"]
+    links = []
+    for region in range(regions):
+        border, hosts = _region_names(region, hosts_per_region)
+        nodes.append(border)
+        links.append(LinkSpec(a=border, b="core",
+                              name=f"{border}--core", delay=0.002))
+        for host in hosts:
+            nodes.append(host)
+            links.append(LinkSpec(a=host, b=border,
+                                  name=f"{host}--{border}", delay=0.001))
+    return NetworkSpec(nodes=tuple(nodes), links=tuple(links))
+
+
+def flood_assignment(regions: int, hosts_per_region: int,
+                     shards: int) -> Dict[str, int]:
+    """Node → shard: region ``r`` (border + hosts) lands on shard
+    ``r % shards``; the core rides with shard 0, so every cut link is a
+    border–core backbone link (delay 0.002 — the lookahead)."""
+    shards = max(1, min(shards, regions))
+    assignment = {"core": 0}
+    for region in range(regions):
+        border, hosts = _region_names(region, hosts_per_region)
+        for node in [border] + hosts:
+            assignment[node] = region % shards
+    return assignment
+
+
+def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
+                    seed: int = 1, mode: str = "auto") -> Dict[str, Any]:
+    """One sharded-tier row: the flat configuration's flooding fan-out
+    (every system originates one LSA-style announcement, flooded to all
+    n systems) at frame level, partitioned over ``shards`` region
+    engines.
+
+    This is the data path that makes the flat DIF at 20×50 cost minutes
+    — modelled without the enrollment control plane so it can be cut at
+    DIF boundaries and measured at full scale.  ``shards=1`` is the
+    single-engine reference row; delivery counts are invariant across
+    shard counts (and the 2-shard split is pinned delivery-row-identical
+    to the unsharded run in ``tests/test_shard.py``).
+    """
+    from ..shard import (RegionPlan, all_nodes_announce, run_sharded,
+                         run_unsharded)
+    spec = build_flood_spec(regions, hosts_per_region)
+    workload = all_nodes_announce(spec.nodes)
+    n = 1 + regions * (1 + hosts_per_region)
+    started = time.perf_counter()
+    if shards <= 1:
+        reference = run_unsharded(spec, workload, seed=seed,
+                                  collect_rows=False)
+        wall = time.perf_counter() - started
+        events = reference["events"]
+        row = {
+            "config": "flat-flood",
+            "systems": n,
+            "regions": regions,
+            "shards": 1,
+            "deliveries": reference["deliveries"],
+            "duplicates": reference["duplicates"],
+            "rounds": 1,
+            "frames_relayed": 0,
+        }
+    else:
+        plan = RegionPlan(spec,
+                          flood_assignment(regions, hosts_per_region,
+                                           shards))
+        result = run_sharded(plan, workload, seed=seed, mode=mode,
+                             collect_rows=False, collect_traces=False)
+        wall = time.perf_counter() - started
+        events = result.events
+        row = {
+            "config": "flat-flood",
+            "systems": n,
+            "regions": regions,
+            "shards": len(plan.regions),
+            "deliveries": sum(s["deliveries"] for s in result.shards),
+            "duplicates": sum(s["duplicates"] for s in result.shards),
+            "rounds": result.rounds,
+            "frames_relayed": result.frames_relayed,
+        }
+    row.update({
+        "wall_s": round(wall, 2),
+        "events": events,
+        "events_per_s": int(events / wall) if wall > 0 else 0,
+    })
+    return row
+
+
+def shard_trace_digests(regions: int, hosts_per_region: int,
+                        shards: int, seed: int = 0) -> List[Dict[str, Any]]:
+    """Rows of per-shard trace SHA-256s for a canned flood plant.
+
+    Job target for the golden-fingerprint checks: sharded traces
+    produced inside a pool worker (where the coordinator falls back to
+    in-process rounds) must match the digests pinned from a direct run.
+    """
+    from ..shard import RegionPlan, all_nodes_announce, run_sharded
+    spec = build_flood_spec(regions, hosts_per_region)
+    plan = RegionPlan(spec, flood_assignment(regions, hosts_per_region,
+                                             shards))
+    result = run_sharded(plan, all_nodes_announce(spec.nodes), seed=seed)
+    return [{"shard": s["shard"], "sha256": s["trace_sha256"]}
+            for s in result.shards]
+
+
+def iter_flood_jobs(tiers: List[str] = ("small", "medium", "large"),
+                    shards: int = 2, seed: int = 1) -> List[Job]:
+    """The sharded tier as data: per tier, the single-engine reference
+    row and the ``shards``-way partitioned row.  Each job is one whole
+    sharded run — the coordinator spawns its own per-region workers, so
+    dispatch these with ``--jobs 1`` (inside a daemonic pool worker the
+    coordinator falls back to in-process rounds)."""
+    jobs = []
+    for tier in tiers:
+        if tier not in SCALE_SIZES:
+            raise ValueError(f"unknown scale tier {tier!r}; "
+                             f"known: {', '.join(SCALE_SIZES)}")
+        regions, hosts = SCALE_SIZES[tier]
+        # dict.fromkeys: --shards 1 means one reference row, not two
+        for count in dict.fromkeys((1, shards)):
+            jobs.append(Job(
+                "repro.experiments.e6_scalability:run_flood_scale",
+                kwargs={"regions": regions, "hosts_per_region": hosts,
+                        "shards": count, "seed": seed},
+                group="e6-shard",
+                label=f"e6-shard flat-flood {tier} x{count}"))
     return jobs
 
 

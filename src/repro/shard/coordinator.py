@@ -1,0 +1,364 @@
+"""Drive per-region shard engines through conservative-lookahead rounds.
+
+The frame-exchange protocol (documented in docs/ARCHITECTURE.md):
+
+1. **floor** — the earliest pending activity anywhere: the minimum over
+   every region's next local event time and every relayed frame's
+   arrival time.  Nothing in the whole simulation can happen before it.
+2. **horizons** — region ``r`` may run to ``floor + lookahead(r)``,
+   where ``lookahead(r)`` is the minimum propagation delay over ``r``'s
+   boundary links (a region with no boundary links runs to completion —
+   nothing can ever reach it).  Any frame sent to ``r`` during this
+   round is sent at ``t >= floor`` and arrives at ``t + delay >= floor +
+   lookahead(r)``, i.e. never inside the window ``r`` just simulated.
+3. **step** — every region receives the frames relayed to it (scheduled
+   at their exact recorded arrival times), runs to its horizon, and
+   returns the boundary frames it emitted.
+4. **relay** — emitted frames are routed to the far region of their
+   link and delivered next round, sorted by arrival time (stable on
+   emission order) so injection order is identical in-process and
+   across worker processes.
+
+Rounds repeat until every engine is drained and no frames are in
+flight (or the ``until`` cap is reached).  Workers are persistent
+processes — one per region, built from the same pure-data
+:class:`~repro.shard.plan.RegionSpec` + workload payloads the sweeps
+subsystem established for jobs (and honouring its
+``REPRO_START_METHOD``), because a shard keeps live engine state
+between rounds and so cannot be a fire-and-forget pool job.  Inside a
+``multiprocessing`` pool worker (daemonic processes cannot have
+children) the coordinator transparently falls back to in-process
+execution — same rounds, same traces.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sweeps.runner import START_METHOD_ENV
+from .engine import BoundaryFrame, ShardEngine
+from .plan import RegionPlan
+
+MODES = ("auto", "inline", "process")
+
+
+class ShardRunError(RuntimeError):
+    """A shard worker failed or the round loop did not converge."""
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of one sharded run."""
+
+    rows: List[Dict[str, Any]]          # first-delivery rows, merged+sorted
+    node_stats: List[Dict[str, Any]]    # per-node stats, merged+sorted
+    shards: List[Dict[str, Any]]        # per-shard summaries, region order
+    traces: List[str] = field(default_factory=list)
+    rounds: int = 0
+    frames_relayed: int = 0
+    mode: str = "inline"
+
+    @property
+    def events(self) -> int:
+        """Total engine events across all shards."""
+        return sum(shard["events"] for shard in self.shards)
+
+
+class _InlineShard:
+    """A region engine living in the coordinator's own process."""
+
+    def __init__(self, region, workload, seed) -> None:
+        self._shard = ShardEngine(region, workload, seed=seed)
+
+    def handshake(self) -> Optional[float]:
+        return self._shard.next_event_time()
+
+    def step(self, horizon: Optional[float],
+             frames: List[BoundaryFrame]
+             ) -> Tuple[List[BoundaryFrame], float, Optional[float]]:
+        self._shard.inject(frames)
+        out = self._shard.run_to(horizon)
+        return out, self._shard.clock, self._shard.next_event_time()
+
+    def finish(self, want_rows: bool, want_traces: bool):
+        shard = self._shard
+        return (shard.delivery_rows() if want_rows else [],
+                shard.node_stats() if want_rows else [],
+                shard.summary(include_trace=want_traces),
+                shard.trace_text() if want_traces else "")
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, region, workload, seed) -> None:
+    """Worker-process loop: build once, then step on command.
+
+    Module-level so ``spawn`` can import it by reference; everything it
+    receives is pure data.
+    """
+    try:
+        shard = ShardEngine(region, workload, seed=seed)
+        conn.send(("ready", shard.next_event_time()))
+        while True:
+            message = conn.recv()
+            if message[0] == "step":
+                _kind, horizon, frames = message
+                shard.inject(frames)
+                out = shard.run_to(horizon)
+                conn.send(("stepped", out, shard.clock,
+                           shard.next_event_time()))
+            elif message[0] == "finish":
+                _kind, want_rows, want_traces = message
+                conn.send(("done",
+                           shard.delivery_rows() if want_rows else [],
+                           shard.node_stats() if want_rows else [],
+                           shard.summary(include_trace=want_traces),
+                           shard.trace_text() if want_traces else ""))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ShardRunError(f"unknown command {message[0]!r}")
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessShard:
+    """A region engine in a dedicated persistent worker process."""
+
+    def __init__(self, context, region, workload, seed) -> None:
+        self.region = region.region
+        parent_conn, child_conn = context.Pipe()
+        self._conn = parent_conn
+        self._proc = context.Process(
+            target=_shard_worker, args=(child_conn, region, workload, seed),
+            name=f"shard-{region.region}", daemon=True)
+        self._proc.start()
+        child_conn.close()
+
+    def _recv(self, expected: str):
+        try:
+            message = self._conn.recv()
+        except EOFError:
+            raise ShardRunError(
+                f"shard {self.region} worker died without replying")
+        if message[0] == "error":
+            raise ShardRunError(f"shard {self.region} failed: {message[1]}")
+        if message[0] != expected:  # pragma: no cover - protocol misuse
+            raise ShardRunError(
+                f"shard {self.region}: expected {expected!r} reply, "
+                f"got {message[0]!r}")
+        return message[1:]
+
+    def handshake(self) -> Optional[float]:
+        return self._recv("ready")[0]
+
+    def send_step(self, horizon: Optional[float],
+                  frames: List[BoundaryFrame]) -> None:
+        self._conn.send(("step", horizon, frames))
+
+    def recv_step(self) -> Tuple[List[BoundaryFrame], float, Optional[float]]:
+        out, clock, nxt = self._recv("stepped")
+        return out, clock, nxt
+
+    def finish(self, want_rows: bool, want_traces: bool):
+        self._conn.send(("finish", want_rows, want_traces))
+        return self._recv("done")
+
+    def close(self) -> None:
+        self._conn.close()
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+
+
+class ShardCoordinator:
+    """Run a :class:`RegionPlan` to completion, relaying boundary frames.
+
+    Parameters
+    ----------
+    plan, workload, seed:
+        The pure-data description every region is built from.
+    mode:
+        ``"process"`` (one persistent worker per region),
+        ``"inline"`` (all regions in this process, stepped round-robin),
+        or ``"auto"`` — process when there is real parallelism to win
+        and spawning children is possible, inline otherwise (single
+        region, or running inside a daemonic pool worker).
+    start_method:
+        ``multiprocessing`` start method for process mode; defaults to
+        ``REPRO_START_METHOD`` (the sweeps knob), then the platform
+        default.
+    """
+
+    def __init__(self, plan: RegionPlan, workload: Dict[str, Any],
+                 seed: int = 0, mode: str = "auto",
+                 start_method: Optional[str] = None,
+                 max_rounds: int = 1_000_000) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; known: "
+                             f"{', '.join(MODES)}")
+        self.plan = plan
+        self.workload = workload
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.start_method = (start_method
+                             or os.environ.get(START_METHOD_ENV) or None)
+        if self.start_method is not None:
+            known = multiprocessing.get_all_start_methods()
+            if self.start_method not in known:
+                raise ValueError(f"unknown start method "
+                                 f"{self.start_method!r}; known: "
+                                 f"{', '.join(known)}")
+        if mode == "auto":
+            # process mode only pays when there is real parallelism to
+            # win: multiple regions, more than one CPU, and the ability
+            # to spawn children at all (daemonic pool workers cannot).
+            # Inline rounds are not a degraded fallback — on a single
+            # core they are the *faster* configuration (no IPC, and the
+            # per-region heaps already beat one monolithic heap).
+            daemonic = multiprocessing.current_process().daemon
+            cpus = os.cpu_count() or 1
+            mode = ("process" if len(plan.regions) > 1 and cpus > 1
+                    and not daemonic else "inline")
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, collect_rows: bool = True,
+            collect_traces: bool = True) -> ShardRunResult:
+        """Execute rounds until quiescence (or ``until``), then merge.
+
+        ``collect_rows`` / ``collect_traces`` gate the expensive result
+        payloads: a million-delivery scale run only needs the per-shard
+        summaries, not a million row dicts or megabytes of trace text.
+        """
+        proxies = self._make_proxies()
+        try:
+            return self._run_rounds(proxies, until, collect_rows,
+                                    collect_traces)
+        finally:
+            for proxy in proxies:
+                proxy.close()
+
+    def _make_proxies(self) -> List[Any]:
+        if self.mode == "inline":
+            return [_InlineShard(region, self.workload, self.seed)
+                    for region in self.plan.regions]
+        context = multiprocessing.get_context(self.start_method)
+        return [_ProcessShard(context, region, self.workload, self.seed)
+                for region in self.plan.regions]
+
+    def _run_rounds(self, proxies, until, collect_rows,
+                    collect_traces) -> ShardRunResult:
+        plan = self.plan
+        count = len(proxies)
+        nexts: List[Optional[float]] = [p.handshake() for p in proxies]
+        clocks = [0.0] * count
+        inboxes: List[List[BoundaryFrame]] = [[] for _ in range(count)]
+        rounds = 0
+        frames_relayed = 0
+        while True:
+            activity = [t for t in nexts if t is not None]
+            activity.extend(frame[0] for inbox in inboxes for frame in inbox)
+            if not activity:
+                break
+            floor = min(activity)
+            if until is not None and floor > until:
+                break
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise ShardRunError(
+                    f"no convergence after {self.max_rounds} rounds "
+                    f"(floor={floor!r})")
+            horizons = []
+            for region in plan.regions:
+                lookahead = region.lookahead
+                horizon = (None if math.isinf(lookahead)
+                           else floor + lookahead)
+                if until is not None:
+                    horizon = until if horizon is None else min(horizon,
+                                                                until)
+                horizons.append(horizon)
+            # frames injected in arrival order (stable on emission order)
+            for inbox in inboxes:
+                inbox.sort(key=lambda frame: frame[0])
+            outputs = self._step_all(proxies, horizons, inboxes)
+            inboxes = [[] for _ in range(count)]
+            for index, (out, clock, nxt) in enumerate(outputs):
+                clocks[index] = clock
+                nexts[index] = nxt
+                for frame in out:
+                    pair = plan.boundary_regions[frame[1]]
+                    dest = pair[1] if pair[0] == index else pair[0]
+                    inboxes[dest].append(frame)
+                    frames_relayed += 1
+        if until is not None and any(clock < until for clock in clocks):
+            # advance idle engines to the cap (parity with an unsharded
+            # run(until=...), whose clock always ends at the cap);
+            # leftover frames arriving beyond the cap stay undelivered
+            # exactly as events beyond the cap stay unprocessed
+            outputs = self._step_all(proxies, [until] * count, inboxes)
+            clocks = [clock for _out, clock, _next in outputs]
+        return self._merge(proxies, rounds, frames_relayed, collect_rows,
+                           collect_traces)
+
+    def _step_all(self, proxies, horizons, inboxes):
+        if self.mode == "inline":
+            return [proxy.step(horizon, inbox)
+                    for proxy, horizon, inbox in zip(proxies, horizons,
+                                                     inboxes)]
+        for proxy, horizon, inbox in zip(proxies, horizons, inboxes):
+            proxy.send_step(horizon, inbox)
+        return [proxy.recv_step() for proxy in proxies]
+
+    def _merge(self, proxies, rounds, frames_relayed, collect_rows,
+               collect_traces) -> ShardRunResult:
+        rows: List[Dict[str, Any]] = []
+        node_stats: List[Dict[str, Any]] = []
+        summaries: List[Dict[str, Any]] = []
+        traces: List[str] = []
+        for proxy in proxies:
+            shard_rows, shard_stats, summary, trace = proxy.finish(
+                collect_rows, collect_traces)
+            rows.extend(shard_rows)
+            node_stats.extend(shard_stats)
+            summaries.append(summary)
+            if collect_traces:
+                traces.append(trace)
+        rows.sort(key=lambda row: (row["node"], row["origin"], row["seq"]))
+        node_stats.sort(key=lambda row: row["node"])
+        return ShardRunResult(rows=rows, node_stats=node_stats,
+                              shards=summaries, traces=traces,
+                              rounds=rounds, frames_relayed=frames_relayed,
+                              mode=self.mode)
+
+
+def run_sharded(plan: RegionPlan, workload: Dict[str, Any], seed: int = 0,
+                mode: str = "auto", start_method: Optional[str] = None,
+                until: Optional[float] = None, collect_rows: bool = True,
+                collect_traces: bool = True) -> ShardRunResult:
+    """One-call sharded execution of a plan + workload.
+
+    Always deterministic (same plan + workload + seed ⇒ identical
+    per-shard traces, any mode), and every frame is delivered at the
+    exact timestamp the unsharded link would have computed.  Exact
+    *equivalence* with an unsharded run additionally requires the
+    workload to be tie-free: at an exactly shared float timestamp an
+    injected boundary frame executes after local events, where one
+    engine may have interleaved them — see the lookahead section of
+    docs/ARCHITECTURE.md.  Order-insensitive results (delivery counts,
+    reach sets) are equivalent regardless.
+    """
+    coordinator = ShardCoordinator(plan, workload, seed=seed, mode=mode,
+                                   start_method=start_method)
+    return coordinator.run(until=until, collect_rows=collect_rows,
+                           collect_traces=collect_traces)

@@ -1,0 +1,186 @@
+"""One region's engine plus its boundary half-links.
+
+A boundary link is cut in two.  The sending region owns the transmit
+queue, the serialization clock, and the (absent, by plan validation)
+loss decision — everything up to the moment the frame is "on the wire".
+At that point, instead of scheduling local delivery, the egress half
+records a **timestamped boundary frame** ``(arrival_time, link, payload,
+size)`` with ``arrival_time = now + propagation delay``.  The
+coordinator relays the frame between rounds, and the receiving region's
+half-link delivers it at exactly ``arrival_time`` — the same float the
+unsharded :class:`~repro.sim.link.Link` would have computed, so delivery
+timing is bit-identical, not merely close.
+
+Frames whose arrival lands exactly on a round horizon are injected after
+the round ends and execute in the next round — deterministically, since
+the receiving engine's clock never passes an injection's arrival time
+(the conservative-lookahead invariant proved in :mod:`repro.shard.plan`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.link import Link
+from ..sim.network import Network
+from .flood import attach_flood, delivery_rows, node_stat_rows
+from .plan import BoundaryPort, RegionSpec, UniformLoss
+
+#: (arrival_time, link_name, payload, size_bytes) — pure data, picklable
+BoundaryFrame = Tuple[float, str, Any, int]
+
+
+class BoundaryHalf(Link):
+    """The locally owned half of a cross-region link.
+
+    The local node attaches to end 0 and transmits normally; end 1 is a
+    ghost (the real peer lives in another region's simulation).  Egress
+    frames land in the shard's outbox at serialization end; ingress
+    frames are injected by :meth:`ShardEngine.inject` and delivered
+    through :meth:`deliver_inbound`, which keeps the delivered-frame
+    statistics and trace counters of the unsharded link.
+    """
+
+    def __init__(self, engine, name: str, outbox: List[BoundaryFrame],
+                 **kwargs: Any) -> None:
+        super().__init__(engine, name, **kwargs)
+        self._outbox = outbox
+
+    def _schedule_delivery(self, direction: int, payload: Any,
+                           size: int) -> None:
+        # identical float arithmetic to Link.call_later(delay, ...):
+        # the peer region will deliver at exactly this time
+        self._outbox.append(
+            (self._engine.now + self.delay, self.name, payload, size))
+
+    def deliver_inbound(self, payload: Any, size: int) -> None:
+        """Deliver a relayed frame up the local stack (stats included)."""
+        if not self._up:
+            return
+        self.frames_delivered[1] += 1
+        self.bytes_delivered[1] += size
+        self._trace_count("link.delivered")
+        self.ends[0].deliver(payload, size)
+
+
+class ShardEngine:
+    """One region's :class:`~repro.sim.network.Network`, runnable in
+    conservative-lookahead rounds.
+
+    Built entirely from pure data (:class:`RegionSpec` + a workload
+    dict), so the same constructor runs in the coordinator process and
+    in a ``spawn``-ed worker with identical results.
+    """
+
+    def __init__(self, region: RegionSpec, workload: Dict[str, Any],
+                 seed: int = 0) -> None:
+        self.region = region
+        self.seed = seed
+        self.network = Network(seed=seed)
+        self.outbox: List[BoundaryFrame] = []
+        for node in region.nodes:
+            self.network.add_node(node)
+        for link in region.links:
+            self.network.connect(
+                link.a, link.b, name=link.name,
+                capacity_bps=link.capacity_bps, delay=link.delay,
+                queue_limit=link.queue_limit,
+                loss=None if link.loss is None else UniformLoss(link.loss))
+        self._halves: Dict[str, BoundaryHalf] = {}
+        for port in region.boundary:
+            self._attach_boundary(port)
+        self.floods = attach_flood(self.network, workload,
+                                   local_nodes=region.nodes)
+
+    def _attach_boundary(self, port: BoundaryPort) -> None:
+        link = port.link
+        half = BoundaryHalf(
+            self.network.engine, link.name, self.outbox,
+            capacity_bps=link.capacity_bps, delay=link.delay,
+            queue_limit=link.queue_limit,
+            rng=self.network.streams.stream(f"link:{link.name}"),
+            tracer=self.network.tracer)
+        self.network.attach_link(half, port.local_node)
+        self._halves[link.name] = half
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """The region engine's simulated time."""
+        return self.network.engine.now
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending local event (None when drained)."""
+        return self.network.engine.next_event_time()
+
+    def inject(self, frames: List[BoundaryFrame]) -> None:
+        """Schedule relayed boundary frames for delivery at their
+        recorded arrival times (never in this engine's past — the
+        lookahead invariant)."""
+        engine = self.network.engine
+        for arrival, link_name, payload, size in frames:
+            half = self._halves[link_name]
+            engine.call_at(arrival, half.deliver_inbound, payload, size,
+                           label=half._rx_label)
+
+    def run_to(self, horizon: Optional[float]) -> List[BoundaryFrame]:
+        """Run the region engine up to ``horizon`` (to quiescence when
+        None) and drain the boundary outbox."""
+        self.network.run(until=horizon)
+        out, self.outbox[:] = list(self.outbox), []
+        return out
+
+    # ------------------------------------------------------------------
+    def delivery_rows(self) -> List[Dict[str, Any]]:
+        """This shard's first-delivery rows (see :mod:`.flood`)."""
+        return delivery_rows(self.floods)
+
+    def node_stats(self) -> List[Dict[str, Any]]:
+        """This shard's per-node stat rows."""
+        return node_stat_rows(self.floods)
+
+    def summary(self, include_trace: bool = True) -> Dict[str, Any]:
+        """One row describing this shard's run.
+
+        ``include_trace=False`` skips rendering (and hashing) the full
+        trace text — a scale run's trace is megabytes of delivery lines
+        nobody will pin.
+        """
+        row = {
+            "shard": self.region.region,
+            "nodes": len(self.region.nodes),
+            "events": self.network.engine.events_processed,
+            "clock": self.clock,
+            "deliveries": sum(len(f.deliveries)
+                              for f in self.floods.values()),
+            "duplicates": sum(f.duplicates for f in self.floods.values()),
+        }
+        if include_trace:
+            row["trace_sha256"] = hashlib.sha256(
+                self.trace_text().encode()).hexdigest()
+        return row
+
+    def trace_text(self) -> str:
+        """The canonical byte-stable trace of this shard's run.
+
+        Same discipline as the scenario runner's trace: counters in
+        sorted order, deliveries with ``repr`` timestamps, one line per
+        observable.  Two runs of the same plan/workload/seed — in
+        process, forked, or spawned — must produce identical bytes;
+        ``tests/test_trace_golden.py`` pins SHA-256s of these.
+        """
+        lines = [f"shard={self.region.region} seed={self.seed} "
+                 f"nodes={len(self.region.nodes)}"]
+        for name, value in self.network.tracer.counters().items():
+            lines.append(f"counter {name}={value}")
+        for row in self.delivery_rows():
+            lines.append(f"delivery {row['node']} {row['origin']} "
+                         f"{row['seq']} {row['time']!r}")
+        for stats in self.node_stats():
+            lines.append("node {node} announced={announced} "
+                         "received={received} duplicates={duplicates} "
+                         "forwarded={forwarded}".format(**stats))
+        lines.append(f"clock={self.clock!r} "
+                     f"events={self.network.engine.events_processed}")
+        return "\n".join(lines) + "\n"

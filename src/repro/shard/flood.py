@@ -1,0 +1,188 @@
+"""Frame-level flooding workload for sharded runs.
+
+The expensive part of the flat E6 configuration is not Dijkstra — PR 2's
+lazy SPF removed most of that — it is the *flooding fan-out*: every
+link-state announcement traverses every link of a 1,000-system plant.
+:class:`FloodNode` models exactly that data path at the sim layer: each
+node originates sequence-numbered announcements and refloods first
+copies out of every other interface, deduplicating by ``(origin, seq)``
+the way the LSDB does.  Payloads are plain tuples, so frames cross shard
+process boundaries by pickling, unchanged.
+
+The workload itself is pure data (a dict of announcement times), so one
+description drives the unsharded reference run, every in-process shard,
+and every shard worker process identically — which is what makes the
+sharded-vs-unsharded delivery equivalence testable at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.network import Network
+
+FLOOD_KIND = "flood"
+
+#: default announcement payload size (bytes on the wire)
+DEFAULT_SIZE = 64
+
+#: default stagger between consecutive origins' announcements.  Chosen so
+#: announcement offsets (multiples of 5e-4) can never coincide with sums
+#: of the standard plant's hop delays (multiples of 1e-3/2e-3 plus
+#: 64-byte serialization quanta) — no two frames contend for a queue at
+#: exactly the same instant, so delivery times are tie-free and the
+#: sharded run reproduces the unsharded one to the bit.
+DEFAULT_SPACING = 5e-4
+
+
+def flood_workload(announcements: List[Tuple[str, float]],
+                   size_bytes: int = DEFAULT_SIZE) -> Dict[str, Any]:
+    """The pure-data workload description carried to every shard."""
+    return {
+        "kind": FLOOD_KIND,
+        "size_bytes": int(size_bytes),
+        "announcements": [[str(node), float(at)] for node, at in announcements],
+    }
+
+
+def all_nodes_announce(nodes: Tuple[str, ...],
+                       spacing: float = DEFAULT_SPACING,
+                       size_bytes: int = DEFAULT_SIZE) -> Dict[str, Any]:
+    """Every node originates one announcement, staggered in node order —
+    the initial-LSA storm of a freshly built flat DIF."""
+    return flood_workload(
+        [(node, index * spacing) for index, node in enumerate(nodes)],
+        size_bytes=size_bytes)
+
+
+class FloodNode:
+    """Per-origin sequence-numbered flooding on one node, LSA-style."""
+
+    def __init__(self, node, tracer=None) -> None:
+        self.node = node
+        self.name = node.name
+        self._engine = node.engine
+        self._tracer = tracer
+        self._seen: set = set()
+        self._next_seq = 0
+        #: (time, origin, seq) per first delivery, in delivery order
+        self.deliveries: List[Tuple[float, str, int]] = []
+        self.announced = 0
+        self.duplicates = 0
+        self.forwarded = 0
+        self._interfaces = list(node.interfaces())
+        for interface in self._interfaces:
+            end = interface.end
+            end.attach(lambda payload, size, _end=end:
+                       self._receive(_end, payload, size))
+
+    def announce(self, size_bytes: int = DEFAULT_SIZE) -> None:
+        """Originate one announcement and flood it on every interface."""
+        seq = self._next_seq
+        self._next_seq += 1
+        payload = (self.name, seq)
+        self._seen.add(payload)
+        self.announced += 1
+        self._count("flood.announced")
+        for interface in self._interfaces:
+            interface.end.send(payload, size_bytes)
+            self.forwarded += 1
+
+    def _receive(self, from_end, payload, size: int) -> None:
+        if payload in self._seen:
+            self.duplicates += 1
+            self._count("flood.duplicate")
+            return
+        self._seen.add(payload)
+        origin, seq = payload
+        self.deliveries.append((self._engine.now, origin, seq))
+        self._count("flood.delivered")
+        for interface in self._interfaces:
+            if interface.end is not from_end:
+                interface.end.send(payload, size)
+                self.forwarded += 1
+
+    def _count(self, name: str) -> None:
+        if self._tracer is not None:
+            self._tracer.count(name)
+
+    def stats(self) -> Dict[str, Any]:
+        """Order-insensitive per-node result row."""
+        return {
+            "node": self.name,
+            "announced": self.announced,
+            "received": len(self.deliveries),
+            "duplicates": self.duplicates,
+            "forwarded": self.forwarded,
+        }
+
+
+def attach_flood(network: Network, workload: Dict[str, Any],
+                 local_nodes: Optional[Tuple[str, ...]] = None
+                 ) -> Dict[str, FloodNode]:
+    """Attach a :class:`FloodNode` to every (local) node and schedule the
+    workload's announcements whose origin lives here.
+
+    Interfaces must all be plugged in before this is called (boundary
+    half-links included) — a flood node snapshots its interface list.
+    """
+    if workload.get("kind") != FLOOD_KIND:
+        raise ValueError(f"unknown workload kind {workload.get('kind')!r}")
+    size = int(workload.get("size_bytes", DEFAULT_SIZE))
+    names = tuple(local_nodes) if local_nodes is not None \
+        else tuple(network.nodes)
+    floods = {name: FloodNode(network.nodes[name], tracer=network.tracer)
+              for name in names}
+    for node, at in workload["announcements"]:
+        flood = floods.get(node)
+        if flood is not None:
+            network.engine.call_at(float(at), flood.announce, size,
+                                   label="flood.announce")
+    return floods
+
+
+def delivery_rows(floods: Dict[str, FloodNode]) -> List[Dict[str, Any]]:
+    """One row per first delivery, sorted by (node, origin, seq).
+
+    Timestamps are included deliberately: on a tie-free workload the
+    sharded run reproduces the unsharded delivery *times* bit for bit,
+    and the equivalence test pins exactly that.
+    """
+    rows = []
+    for name in sorted(floods):
+        for time, origin, seq in sorted(
+                floods[name].deliveries,
+                key=lambda d: (d[1], d[2], d[0])):
+            rows.append({"node": name, "origin": origin, "seq": seq,
+                         "time": time})
+    return rows
+
+
+def node_stat_rows(floods: Dict[str, FloodNode]) -> List[Dict[str, Any]]:
+    """Per-node stats rows sorted by node name."""
+    return [floods[name].stats() for name in sorted(floods)]
+
+
+def run_unsharded(spec, workload: Dict[str, Any], seed: int = 0,
+                  until: Optional[float] = None,
+                  collect_rows: bool = True) -> Dict[str, Any]:
+    """The single-engine reference run of a flood workload.
+
+    ``spec`` is a :class:`~repro.shard.plan.NetworkSpec`.  Returns the
+    same row shapes as a sharded run so the equivalence tests (and the
+    E6 comparison table) diff them directly.  ``collect_rows=False``
+    skips building the per-delivery row lists — the same gating a scale
+    run applies to the sharded side, so timed comparisons measure equal
+    work.
+    """
+    network = spec.build(seed=seed)
+    floods = attach_flood(network, workload)
+    network.run(until=until)
+    return {
+        "rows": delivery_rows(floods) if collect_rows else [],
+        "node_stats": node_stat_rows(floods) if collect_rows else [],
+        "events": network.engine.events_processed,
+        "clock": network.engine.now,
+        "deliveries": sum(len(f.deliveries) for f in floods.values()),
+        "duplicates": sum(f.duplicates for f in floods.values()),
+    }

@@ -114,6 +114,24 @@ class Engine:
     def _note_cancel(self, _event: Event) -> None:
         self._live -= 1
 
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None when the queue is
+        drained.
+
+        Cancelled heap heads are popped on the way (they are dead weight
+        the run loop would skip anyway), so the peek is amortized O(1).
+        Used by the shard coordinator to fast-forward synchronization
+        rounds over quiet stretches of simulated time.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if not event.cancelled:
+                return event.time
+            heapq.heappop(heap)
+            event._expired = True
+        return None
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -286,10 +286,19 @@ class Link:
                 self.frames_dropped_loss[direction] += 1
                 self._trace_count("link.drop.loss")
             else:
-                self._engine.call_later(
-                    self.delay, self._deliver, direction, payload, size,
-                    label=self._rx_label)
+                self._schedule_delivery(direction, payload, size)
         self._serve(direction)
+
+    def _schedule_delivery(self, direction: int, payload: Any, size: int) -> None:
+        """Queue the on-the-wire frame for delivery after propagation.
+
+        Subclasses that cut a link at a simulation boundary (the shard
+        subsystem's half-links) override this single seam: the loss
+        decision, queueing, and serialization above it stay shared.
+        """
+        self._engine.call_later(
+            self.delay, self._deliver, direction, payload, size,
+            label=self._rx_label)
 
     def _deliver(self, direction: int, payload: Any, size: int) -> None:
         if not self._up:

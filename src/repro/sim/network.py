@@ -33,6 +33,10 @@ class Network:
         # link-end → owning node name, maintained by connect(); spares
         # endpoints_of() the O(nodes × interfaces) scan at scale
         self._end_owner: Dict[int, str] = {}
+        # ends deliberately left unattached (shard boundary half-links);
+        # graph() skips these, while a merely *forgotten* attachment
+        # still fails loudly
+        self._ghost_ends: set = set()
 
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> Node:
@@ -56,8 +60,9 @@ class Network:
         With ``wireless=True`` a :class:`WirelessLink` (signal-driven loss)
         is built instead; ``loss`` is then ignored.
         """
-        node_a = self.nodes[a]
-        node_b = self.nodes[b]
+        # validate endpoints before any side effect (stream creation)
+        self.node(a)
+        self.node(b)
         if name is None:
             name = f"{a}--{b}#{next(self._link_seq)}"
         if name in self.links:
@@ -71,11 +76,29 @@ class Network:
             link = Link(self.engine, name, capacity_bps=capacity_bps, delay=delay,
                         loss=loss, queue_limit=queue_limit, rng=rng,
                         tracer=self.tracer)
-        self.links[name] = link
-        node_a.add_interface(link.ends[0])
-        node_b.add_interface(link.ends[1])
+        return self.attach_link(link, a, b)
+
+    def attach_link(self, link: Link, a: str, b: Optional[str] = None) -> Link:
+        """Register an externally constructed link (e.g. a custom
+        :class:`Link` subclass): end 0 attaches to node ``a``, end 1 to
+        ``b`` when given.  :meth:`connect` delegates here, so link
+        registration bookkeeping lives in one place.
+
+        The shard subsystem uses the one-sided form for boundary
+        half-links whose far end lives in another region's simulation;
+        :meth:`graph` skips such links (their ghost end belongs to no
+        local node), while :meth:`endpoints_of` on one raises KeyError.
+        """
+        if link.name in self.links:
+            raise ValueError(f"duplicate link name {link.name!r}")
+        self.links[link.name] = link
+        self.nodes[a].add_interface(link.ends[0])
         self._end_owner[id(link.ends[0])] = a
-        self._end_owner[id(link.ends[1])] = b
+        if b is not None:
+            self.nodes[b].add_interface(link.ends[1])
+            self._end_owner[id(link.ends[1])] = b
+        else:
+            self._ghost_ends.add(id(link.ends[1]))
         return link
 
     def endpoints_of(self, link: Link) -> Tuple[str, str]:
@@ -231,21 +254,28 @@ class Network:
 
     # ------------------------------------------------------------------
     def graph(self) -> "nx.Graph":
-        """The physical topology as a networkx graph (nodes by name)."""
+        """The physical topology as a networkx graph (nodes by name).
+
+        Links with a *deliberately* unattached end (shard boundary
+        half-links registered via :meth:`attach_link` with ``b=None``)
+        are skipped — the local graph only contains edges both of whose
+        ends are here.  A merely forgotten attachment still raises, as
+        before.
+        """
         g = nx.Graph()
         g.add_nodes_from(self.nodes)
         for link in self.links.values():
-            a = link.ends[0]
-            b = link.ends[1]
-            # recover node names from the interfaces referencing these ends
-            g.add_edge(self._owner_of(a), self._owner_of(b), link=link)
+            if any(id(end) in self._ghost_ends for end in link.ends):
+                continue
+            g.add_edge(self._owner_of(link.ends[0]),
+                       self._owner_of(link.ends[1]), link=link)
         return g
 
     def _owner_of(self, end) -> str:
         owner = self._end_owner.get(id(end))
         if owner is not None:
             return owner
-        # fallback for ends attached outside connect()
+        # fallback for ends attached outside connect()/attach_link()
         for node in self.nodes.values():
             for interface in node.interfaces():
                 if interface.end is end:

@@ -30,22 +30,21 @@ START_METHOD_ENV = "REPRO_START_METHOD"
 WALL_CLOCK_KEYS = frozenset({"build_s", "wall_s", "events_per_s"})
 
 
-def parse_worker_count(value: Any) -> int:
+def parse_worker_count(value: Any, noun: str = "worker count") -> int:
     """Validate a worker count from the CLI or environment.
 
     Raises :class:`ValueError` on anything but an integer >= 1 — a sweep
     with zero or negative workers is a configuration error, not a
-    request for the default.
+    request for the default.  ``noun`` names the quantity in the error
+    message (the CLI reuses this validator for ``--shards``).
     """
     try:
         # via str() so 1.5 and True are rejected instead of truncated
         count = int(str(value).strip())
     except (TypeError, ValueError):
-        raise ValueError(f"worker count must be an integer >= 1, "
-                         f"got {value!r}")
+        raise ValueError(f"{noun} must be an integer >= 1, got {value!r}")
     if count < 1:
-        raise ValueError(f"worker count must be an integer >= 1, "
-                         f"got {count}")
+        raise ValueError(f"{noun} must be an integer >= 1, got {count}")
     return count
 
 

@@ -49,13 +49,22 @@ class TestDifDirectory:
         assert directory.lookup(app) is None
         assert floods[-1].value["names"] == []
 
-    def test_remote_update_learned_and_refloded(self):
+    def test_remote_update_learned_and_reflooded(self):
         directory = make_directory(Address(1))
         update = RiepMessage(M_WRITE, obj=DIRECTORY_OBJ, value={
             "origin": (2,), "seq": 1, "names": ["remote-svc"]})
         directory.handle_update(update, Address(2))
         assert directory.lookup(ApplicationName("remote-svc")) == Address(2)
-        assert directory.updates_refloded == 1
+        assert directory.updates_reflooded == 1
+
+    def test_deprecated_refloded_alias_tracks_renamed_counter(self):
+        # the misspelled name survives as a read-only alias, the same
+        # treatment lsas_reflooded got in core/routing.py
+        directory = make_directory(Address(1))
+        update = RiepMessage(M_WRITE, obj=DIRECTORY_OBJ, value={
+            "origin": (2,), "seq": 1, "names": ["remote-svc"]})
+        directory.handle_update(update, Address(2))
+        assert directory.updates_refloded == directory.updates_reflooded == 1
 
     def test_stale_update_ignored(self):
         directory = make_directory(Address(1))

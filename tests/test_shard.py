@@ -1,0 +1,239 @@
+"""The shard subsystem: plan validation, conservative-lookahead rounds,
+and the sharded-vs-unsharded equivalence contract.
+
+The headline claim under test: a 2-region split of the canned E6 plant
+produces delivery rows **bit-identical** to the unsharded run — same
+(node, origin, seq) sets *and the same float timestamps* — because a
+boundary frame's arrival time is computed with the same arithmetic the
+unsharded link would have used, and the conservative lookahead
+guarantees no region ever simulates past a frame it has not yet seen.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.e6_scalability import (build_flood_spec,
+                                              flood_assignment,
+                                              run_flood_scale)
+from repro.shard import (LinkSpec, NetworkSpec, RegionPlan, ShardCoordinator,
+                         ShardPlanError, all_nodes_announce, flood_workload,
+                         run_sharded, run_unsharded)
+
+
+def canned_case(regions=2, hosts=3, shards=2):
+    """The canned 2-region split: E6's star-of-stars plant, cut at the
+    border1--core backbone link."""
+    spec = build_flood_spec(regions, hosts)
+    plan = RegionPlan(spec, flood_assignment(regions, hosts, shards))
+    return spec, plan, all_nodes_announce(spec.nodes)
+
+
+# ----------------------------------------------------------------------
+# RegionPlan
+# ----------------------------------------------------------------------
+class TestRegionPlan:
+    def test_partition_shape(self):
+        spec, plan, _workload = canned_case()
+        assert len(plan.regions) == 2
+        assert sorted(plan.regions[0].nodes) == sorted(
+            ["core", "border0", "h0_0", "h0_1", "h0_2"])
+        assert sorted(plan.regions[1].nodes) == sorted(
+            ["border1", "h1_0", "h1_1", "h1_2"])
+        # exactly one cut link, present as a boundary port on both sides
+        assert [link.name for link in plan.boundary] == ["border1--core"]
+        assert [port.link.name for port in plan.regions[0].boundary] == \
+            ["border1--core"]
+        assert plan.regions[0].lookahead == 0.002
+        assert plan.regions[1].lookahead == 0.002
+        assert plan.lookahead == 0.002
+        # internal links stay internal
+        internal = {link.name for region in plan.regions
+                    for link in region.links}
+        assert "border0--core" in internal
+        assert "border1--core" not in internal
+
+    def test_zero_delay_boundary_link_rejected(self):
+        spec = NetworkSpec(
+            nodes=("a", "b"),
+            links=(LinkSpec(a="a", b="b", name="ab", delay=0.0),))
+        with pytest.raises(ShardPlanError, match="zero propagation delay"):
+            RegionPlan(spec, {"a": 0, "b": 1})
+        # the same link is fine when the cut does not cross it
+        plan = RegionPlan(spec, {"a": 0, "b": 0})
+        assert plan.lookahead == math.inf
+
+    def test_lossy_boundary_link_rejected(self):
+        spec = NetworkSpec(
+            nodes=("a", "b"),
+            links=(LinkSpec(a="a", b="b", name="ab", loss=0.1),))
+        with pytest.raises(ShardPlanError, match="loss model"):
+            RegionPlan(spec, {"a": 0, "b": 1})
+
+    def test_unassigned_node_rejected(self):
+        spec = NetworkSpec(nodes=("a", "b"), links=())
+        with pytest.raises(ShardPlanError, match="misses"):
+            RegionPlan(spec, {"a": 0})
+
+    def test_spec_validation(self):
+        with pytest.raises(ShardPlanError, match="duplicate node"):
+            RegionPlan(NetworkSpec(nodes=("a", "a"), links=()), {"a": 0})
+        bad = NetworkSpec(
+            nodes=("a", "b"),
+            links=(LinkSpec(a="a", b="z", name="az"),))
+        with pytest.raises(ShardPlanError, match="unknown node"):
+            RegionPlan(bad, {"a": 0, "b": 0})
+
+    def test_region_ids_normalized(self):
+        spec = NetworkSpec(nodes=("a", "b"), links=())
+        plan = RegionPlan(spec, {"a": 7, "b": 3})
+        assert plan.region_of("b") == 0
+        assert plan.region_of("a") == 1
+
+    def test_spec_roundtrip_from_network(self):
+        spec, _plan, _workload = canned_case()
+        network = spec.build(seed=3)
+        assert NetworkSpec.from_network(network) == spec
+
+    def test_region_network_graph_skips_boundary_half_links(self):
+        # a shard's local graph() must only contain edges both of whose
+        # ends live in the region — boundary halves have a ghost end
+        from repro.shard import ShardEngine
+        _spec, plan, workload = canned_case()
+        shard = ShardEngine(plan.regions[0], workload, seed=0)
+        graph = shard.network.graph()
+        assert "border1--core" in shard.network.links
+        assert set(graph.nodes) == set(plan.regions[0].nodes)
+        assert all("border1--core" != data["link"].name
+                   for _a, _b, data in graph.edges(data=True))
+
+
+# ----------------------------------------------------------------------
+# Equivalence: the acceptance-criteria contract
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def test_two_region_split_matches_unsharded_run_exactly(self):
+        spec, plan, workload = canned_case()
+        reference = run_unsharded(spec, workload, seed=0)
+        sharded = run_sharded(plan, workload, seed=0, mode="inline")
+        # every system heard every announcement...
+        n = len(spec.nodes)
+        assert reference["deliveries"] == n * (n - 1)
+        # ...and the sharded run reproduces the delivery rows bit for
+        # bit, float timestamps included
+        assert sharded.rows == reference["rows"]
+        assert sharded.node_stats == reference["node_stats"]
+        assert sharded.events == reference["events"]
+        assert sharded.frames_relayed > 0
+
+    def test_process_mode_matches_inline_mode(self):
+        _spec, plan, workload = canned_case()
+        inline = run_sharded(plan, workload, seed=0, mode="inline")
+        process = run_sharded(plan, workload, seed=0, mode="process")
+        assert process.rows == inline.rows
+        assert process.traces == inline.traces
+        assert process.rounds == inline.rounds
+        assert [s["trace_sha256"] for s in process.shards] == \
+            [s["trace_sha256"] for s in inline.shards]
+
+    def test_reruns_are_byte_identical(self):
+        _spec, plan, workload = canned_case()
+        first = run_sharded(plan, workload, seed=0, mode="inline")
+        second = run_sharded(plan, workload, seed=0, mode="inline")
+        assert first.traces == second.traces
+
+    def test_four_way_split_keeps_delivery_counts(self):
+        plan4 = RegionPlan(build_flood_spec(4, 2),
+                           flood_assignment(4, 2, 4))
+        workload4 = all_nodes_announce(plan4.spec.nodes)
+        reference = run_unsharded(plan4.spec, workload4, seed=0)
+        sharded = run_sharded(plan4, workload4, seed=0, mode="inline")
+        assert sharded.rows == reference["rows"]
+        assert len(sharded.shards) == 4
+
+    def test_flood_scale_row_invariant_across_shard_counts(self):
+        serial = run_flood_scale(3, 2, shards=1)
+        sharded = run_flood_scale(3, 2, shards=3)
+        for key in ("deliveries", "duplicates", "events", "systems"):
+            assert sharded[key] == serial[key], key
+        assert sharded["shards"] == 3 and serial["shards"] == 1
+
+    def test_sharded_runs_inside_pool_workers_fall_back_inline(self):
+        # a daemonic pool worker cannot spawn region processes; the
+        # coordinator must transparently run the same rounds in-process
+        from repro.sweeps import Job, SweepRunner
+        jobs = [Job("repro.experiments.e6_scalability:run_flood_scale",
+                    kwargs={"regions": 2, "hosts_per_region": 2,
+                            "shards": count, "seed": 1},
+                    group="e6-shard", label=f"x{count}")
+                for count in (1, 2)]
+        serial, sharded = SweepRunner(workers=2).run(jobs)
+        assert sharded["deliveries"] == serial["deliveries"]
+        assert sharded["events"] == serial["events"]
+
+
+# ----------------------------------------------------------------------
+# Lookahead edge cases
+# ----------------------------------------------------------------------
+class TestLookaheadEdges:
+    def test_region_with_no_boundary_links_completes_in_one_round(self):
+        # two disconnected islands: nothing can ever cross, so both
+        # regions drain in a single round
+        spec = NetworkSpec(
+            nodes=("a", "b", "c", "d"),
+            links=(LinkSpec(a="a", b="b", name="ab"),
+                   LinkSpec(a="c", b="d", name="cd")))
+        plan = RegionPlan(spec, {"a": 0, "b": 0, "c": 1, "d": 1})
+        assert plan.regions[0].lookahead == math.inf
+        result = run_sharded(plan, all_nodes_announce(spec.nodes),
+                             mode="inline")
+        assert result.rounds == 1
+        assert result.frames_relayed == 0
+        assert [row["received"] for row in result.node_stats] == [1, 1, 1, 1]
+
+    def test_frame_arriving_exactly_at_horizon_lands_next_round(self):
+        # engineered so a's announcement frame toward b arrives at
+        # *exactly* the horizon b runs to in the capture round
+        # (floor + lookahead(b)): serialization of 6250 bytes at 1e8
+        # bps takes 0.0005 s, c's pending announcement pins the next
+        # round floor to exactly that instant, and 0.0005 + 0.001 is
+        # then both b's horizon and the frame's arrival time.
+        spec = NetworkSpec(
+            nodes=("a", "b", "c"),
+            links=(LinkSpec(a="a", b="b", name="ab", delay=0.001),
+                   LinkSpec(a="a", b="c", name="ac", delay=0.0002)))
+        plan = RegionPlan(spec, {"a": 0, "b": 1, "c": 2})
+        assert plan.regions[1].lookahead == 0.001
+        serialization = 6250 * 8.0 / 1e8
+        workload = flood_workload(
+            [("a", 0.0), ("c", serialization)], size_bytes=6250)
+        results = [run_sharded(plan, workload, seed=0, mode=mode)
+                   for mode in ("inline", "inline", "process")]
+        first = results[0]
+        by_key = {(row["node"], row["origin"]): row["time"]
+                  for row in first.rows}
+        # delivered despite landing on the horizon, at the exact time
+        # the unsharded link would have computed
+        assert by_key[("b", "a")] == serialization + 0.001
+        assert by_key[("c", "a")] == serialization + 0.0002
+        reference = run_unsharded(spec, workload, seed=0)
+        assert first.rows == reference["rows"]
+        # ... and deterministically: byte-identical reruns, any mode
+        assert results[1].traces == first.traces
+        assert results[2].traces == first.traces
+
+    def test_until_caps_the_run_and_advances_every_clock(self):
+        spec, plan, workload = canned_case()
+        capped = run_sharded(plan, workload, seed=0, mode="inline",
+                             until=0.0001)
+        full = run_sharded(plan, workload, seed=0, mode="inline")
+        assert all(s["clock"] == 0.0001 for s in capped.shards)
+        assert sum(s["deliveries"] for s in capped.shards) < \
+            sum(s["deliveries"] for s in full.shards)
+
+    def test_coordinator_rejects_unknown_mode_and_start_method(self):
+        _spec, plan, workload = canned_case()
+        with pytest.raises(ValueError, match="unknown mode"):
+            ShardCoordinator(plan, workload, mode="threads")
+        with pytest.raises(ValueError, match="unknown start method"):
+            ShardCoordinator(plan, workload, start_method="Spawn")

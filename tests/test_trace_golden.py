@@ -40,6 +40,46 @@ GOLDEN = {
 }
 
 
+#: shard index -> sha256 of that shard's trace for the canned 2-region
+#: split (E6 plant at 2x3, all-nodes-announce flood, seed 0) — captured
+#: at the sharded engine's introduction (PR 4).  A mismatch means a
+#: change leaked into the frame-exchange protocol's observable behavior:
+#: round structure, injection order, boundary arrival arithmetic, or the
+#: flood workload itself.
+GOLDEN_SHARDS = {
+    0: "ecaa92a20b2280208633c801614d3da3c28605ef9d2d3d7219d83d8b36e874d3",
+    1: "f2e0216d33b01874bcac41cbef2c3aaf97307870eca3c7a00302ec35fc2fbdac",
+}
+
+
+def test_sharded_traces_match_pinned_fingerprints():
+    from repro.experiments.e6_scalability import (build_flood_spec,
+                                                  flood_assignment)
+    from repro.shard import RegionPlan, all_nodes_announce, run_sharded
+    spec = build_flood_spec(2, 3)
+    plan = RegionPlan(spec, flood_assignment(2, 3, 2))
+    result = run_sharded(plan, all_nodes_announce(spec.nodes), seed=0,
+                         mode="inline")
+    assert {s["shard"]: s["trace_sha256"] for s in result.shards} == \
+        GOLDEN_SHARDS, ("per-shard trace diverged from the capture — a "
+                        "change leaked into the shard protocol's "
+                        "observable behavior")
+
+
+def test_sharded_fingerprints_reproduce_inside_pool_workers():
+    """Per-shard traces produced by a sharded run *inside a pool worker*
+    (spawn start method, coordinator in its in-process fallback) match
+    the pinned digests — the shard analogue of the scenario-trace worker
+    check below."""
+    from repro.sweeps import Job, SweepRunner
+    jobs = [Job("repro.experiments.e6_scalability:shard_trace_digests",
+                kwargs={"regions": 2, "hosts_per_region": 3, "shards": 2,
+                        "seed": 0},
+                group="golden-shard", label="canned 2-region split")] * 2
+    rows = SweepRunner(workers=2, start_method="spawn").run(jobs)
+    assert {row["shard"]: row["sha256"] for row in rows} == GOLDEN_SHARDS
+
+
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_canned_trace_matches_pre_overhaul_fingerprint(name):
     runner = ScenarioRunner(CANNED[name](), seed=0)
