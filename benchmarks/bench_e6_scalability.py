@@ -83,6 +83,40 @@ def test_e6_sharded_flood_tier(benchmark, table_sink):
         assert unsharded["deliveries"] == n * (n - 1)
 
 
+def test_e6_stateful_shard_tier(benchmark, table_sink):
+    """The stateful sharded row: the flat configuration's *control
+    plane* — enrollment, RIEP exchange, LSA flooding, keepalives —
+    unsharded vs 2/4/10-way region shards, every boundary frame
+    crossing as codec-encoded wire data.
+
+    Serial runner for the same reason as the other tiers (the rows are
+    wall-clock measurements).  The deterministic columns — enrolled
+    members, table rows, LSAs received, and the combined RIB
+    fingerprint — must be bit-invariant across shard counts; the
+    2-shard split is additionally pinned row-identical (enrollment
+    floats included) in ``tests/test_shard_stateful.py``.
+    """
+    from repro.sweeps import Job
+    jobs = [Job("repro.experiments.e6_scalability:run_stateful_scale",
+                kwargs={"regions": 10, "hosts_per_region": 3,
+                        "shards": shards, "seed": 1},
+                group="e6-stateful", label=f"e6-stateful 10x3 x{shards}")
+            for shards in (1, 2, 4, 10)]
+    rows = benchmark.pedantic(lambda: SweepRunner(workers=1).run(jobs),
+                              rounds=1, iterations=1)
+    table_sink("E6-stateful (§6.5): control plane, unsharded vs sharded",
+               format_table(rows))
+    unsharded = rows[0]
+    assert unsharded["shards"] == 1
+    assert unsharded["enrolled"] == unsharded["systems"]
+    for row in rows[1:]:
+        assert row["shards"] > 1
+        assert row["frames_relayed"] > 0
+        for key in ("enrolled", "table_rows", "lsas_received",
+                    "rib_sha256", "events", "systems"):
+            assert row[key] == unsharded[key], key
+
+
 def test_e6_state_and_scope(benchmark, table_sink, sweep):
     rows = benchmark.pedantic(lambda: sweep.run(iter_jobs(sizes=SIZES)),
                               rounds=1, iterations=1)

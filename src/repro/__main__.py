@@ -106,7 +106,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "e6": ("§6.5: flat vs recursive routing state", _e6_jobs),
     "e6-scale": ("§6.5 scale tier: 56/211/1,021-system builds, "
                  "wall-clock + events/sec (REPRO_E6_SCALE_TIERS; "
-                 "--shards N adds the sharded flood tier)",
+                 "--shards N adds the sharded flood tier, --stateful "
+                 "shards the control plane itself, --balance weighs "
+                 "the partition)",
                  _e6_scale_jobs),
     "e7": ("§6.1: attack surface", _e7_jobs),
     "e8": ("§6.6: utilization before QoS violation", _e8_jobs),
@@ -160,30 +162,51 @@ def _extract_shard_count(args: List[str]
     return _extract_int_flag(args, "--shards", "shard count")
 
 
-def _sharded_scale_main(shards: int, workers_flag: Optional[int]) -> int:
-    """``repro e6-scale --shards N``: the sharded flood tier.
+def _extract_bool_flag(args: List[str], flag: str) -> Tuple[List[str], bool]:
+    """Pull a valueless ``--flag`` out of an argument list."""
+    remaining = [arg for arg in args if arg != flag]
+    return remaining, len(remaining) != len(args)
 
-    Each job is one whole sharded run whose coordinator spawns its own
-    per-region workers, so the sweep itself defaults to serial dispatch
-    (``--jobs`` still overrides; inside a pool worker the coordinator
-    falls back to in-process rounds).
+
+def _sharded_scale_main(shards: int, workers_flag: Optional[int],
+                        stateful: bool, balance: bool) -> int:
+    """``repro e6-scale --shards N [--stateful] [--balance]``: the
+    sharded tiers.
+
+    Default is the frame-level flood fan-out; ``--stateful`` runs the
+    flat configuration's *control plane* (enrollment + RIEP + LSA
+    flooding) region-sharded instead.  ``--balance`` swaps the modulo
+    region spread for the cost-weighted partitioner.  Each job is one
+    whole sharded run whose coordinator spawns its own per-region
+    workers, so the sweep itself defaults to serial dispatch (``--jobs``
+    still overrides; inside a pool worker the coordinator falls back to
+    in-process rounds).
     """
-    from .experiments.e6_scalability import iter_flood_jobs
-    tiers = os.environ.get("REPRO_E6_SCALE_TIERS", "small,medium,large")
+    from .experiments.e6_scalability import iter_flood_jobs, iter_stateful_jobs
+    if stateful:
+        tiers = os.environ.get("REPRO_E6_STATEFUL_TIERS", "small,medium")
+        iter_fn, tier_env, what = (iter_stateful_jobs,
+                                   "REPRO_E6_STATEFUL_TIERS",
+                                   "flat control plane (stateful)")
+    else:
+        tiers = os.environ.get("REPRO_E6_SCALE_TIERS", "small,medium,large")
+        iter_fn, tier_env, what = (iter_flood_jobs, "REPRO_E6_SCALE_TIERS",
+                                   "flat flooding fan-out")
     try:
-        jobs = iter_flood_jobs([t.strip() for t in tiers.split(",")
-                                if t.strip()], shards=shards)
+        jobs = iter_fn([t.strip() for t in tiers.split(",") if t.strip()],
+                       shards=shards, balance=balance)
     except ValueError as exc:
-        print(f"REPRO_E6_SCALE_TIERS: {exc}", file=sys.stderr)
+        print(f"{tier_env}: {exc}", file=sys.stderr)
         return 2
     runner, error = _make_runner(1 if workers_flag is None else workers_flag)
     if runner is None:
         print(error, file=sys.stderr)
         return 2
     rows = runner.run(jobs)
+    suffix = ", balanced partition" if balance else ""
     print(format_table(
-        rows, title=f"e6-shard: flat flooding fan-out, unsharded vs "
-                    f"{shards}-way region shards"))
+        rows, title=f"e6-shard: {what}, unsharded vs "
+                    f"{shards}-way region shards{suffix}"))
     return 0
 
 
@@ -315,17 +338,25 @@ def main(argv: List[str]) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
+    argv, stateful_flag = _extract_bool_flag(argv, "--stateful")
+    argv, balance_flag = _extract_bool_flag(argv, "--balance")
     if shards_flag is not None:
         if argv != ["e6-scale"]:
             print("--shards applies to `repro e6-scale` only",
                   file=sys.stderr)
             return 2
-        return _sharded_scale_main(shards_flag, workers_flag)
+        return _sharded_scale_main(shards_flag, workers_flag,
+                                   stateful_flag, balance_flag)
+    if stateful_flag or balance_flag:
+        print("--stateful/--balance apply to `repro e6-scale --shards N` "
+              "only", file=sys.stderr)
+        return 2
     if not argv:
         print("repro — 'Networking is IPC' (Day/Matta/Mattar 2008), "
               "executable reproduction\n")
         print("usage: python -m repro <experiment> [...] | all [--jobs N]\n"
-              "       python -m repro e6-scale --shards N\n"
+              "       python -m repro e6-scale --shards N "
+              "[--stateful] [--balance]\n"
               "       python -m repro scenarios list|run ...\n")
         for key, (title, _jobs_fn) in EXPERIMENTS.items():
             print(f"  {key}   {title}")

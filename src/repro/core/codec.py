@@ -1,0 +1,295 @@
+"""The wire-format codec: every PDU as pure data.
+
+Everything that can cross a link has two representations.  In one
+engine, a PDU is a live object graph — interned :class:`Address`\\ es,
+a :class:`RiepMessage` with its cached size, handler references one hop
+up the stack.  At a *cut* (a shard boundary between worker processes,
+or a link asked to be wire-faithful) none of that may travel: what
+crosses is the **encoded form**, a tree of tagged tuples containing
+nothing but ``None``/``bool``/``int``/``float``/``str``/``bytes``.
+
+The contract, enforced by ``tests/test_codec.py``:
+
+* **round trip** — ``decode(encode(x))`` is equal-valued to ``x`` for
+  every PDU kind, every RIEP message, every LSA, and every JSON-like
+  payload value;
+* **byte stability** — ``encode(decode(encode(x))) == encode(x)``: the
+  encoded form is canonical, so fingerprints of encoded traffic are
+  meaningful;
+* **size consistency** — :func:`encoded_wire_size` computes a PDU's
+  on-wire size from the encoded form *without decoding*, by the same
+  accounting :meth:`~repro.core.pdu.Pdu.wire_size` uses on the live
+  object.  A :class:`RiepMessage` additionally carries its size
+  estimate across the cut (restored into ``_size_cache`` on decode), so
+  a decoded message serializes in exactly the same number of bytes the
+  sender charged — re-flooding timing cannot drift at a process
+  boundary.  :func:`check_size_consistency` asserts all three
+  accountings agree.
+
+Decoding rebuilds the process-local fast paths: ``Address(*parts)``
+lands in the interning table (decoded addresses hit the identity fast
+path in forwarding dicts exactly like locally created ones), and the
+RIEP/LSA value caches are either carried (sizes) or lazily recomputed
+from the identical primitive values.
+
+Encoding is *strict*: an object the codec does not know is a
+:class:`CodecError`, not a silent pickle — a live reference leaking
+toward a cut should fail at the sender, loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .names import Address, ApplicationName, DifName
+from .pdu import (CONTROL_HEADER_BYTES, DATA_HEADER_BYTES,
+                  MGMT_HEADER_BYTES, ControlPdu, DataPdu, ManagementPdu)
+from .riep import RiepMessage, _estimate_value_size
+from .routing import Lsa
+
+#: Tags of the encoded forms.  Scalars pass through untagged (a scalar
+#: is never a tuple, so decoding is unambiguous); every container and
+#: object becomes a tuple whose first element is one of these.
+TAG_TUPLE = "T"
+TAG_LIST = "L"
+TAG_DICT = "D"
+TAG_SET = "S"
+TAG_FROZENSET = "FS"
+TAG_ADDRESS = "A"
+TAG_APP_NAME = "N"
+TAG_DIF_NAME = "DIF"
+TAG_RIEP = "R"
+TAG_LSA = "LSA"
+TAG_DATA_PDU = "PD"
+TAG_CONTROL_PDU = "PC"
+TAG_MGMT_PDU = "PM"
+
+_SCALARS = (type(None), bool, int, float, str, bytes)
+
+
+class CodecError(TypeError):
+    """An object that cannot be represented as wire data."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode(value: Any) -> Any:
+    """The canonical pure-data form of ``value`` (scalars pass through)."""
+    if isinstance(value, _SCALARS):
+        return value
+    kind = type(value)
+    if kind is tuple:
+        return (TAG_TUPLE,) + tuple(encode(item) for item in value)
+    if kind is list:
+        return (TAG_LIST,) + tuple(encode(item) for item in value)
+    if kind is dict:
+        return (TAG_DICT,) + tuple(
+            (encode(key), encode(val)) for key, val in value.items())
+    if kind is set or kind is frozenset:
+        tag = TAG_SET if kind is set else TAG_FROZENSET
+        # canonical member order: sets have none, the encoding must
+        return (tag,) + tuple(sorted((encode(item) for item in value),
+                                     key=repr))
+    if kind is Address:
+        return (TAG_ADDRESS,) + value.parts
+    if kind is ApplicationName:
+        return (TAG_APP_NAME, value.process, value.instance)
+    if kind is DifName:
+        return (TAG_DIF_NAME, value.value)
+    if kind is RiepMessage:
+        # the size estimate crosses with the message: a decoded copy
+        # must charge the links exactly what the original did
+        return (TAG_RIEP, value.opcode, value.obj, encode(value.value),
+                value.invoke_id, value.result, value.estimate_size())
+    if kind is Lsa:
+        return (TAG_LSA, (TAG_ADDRESS,) + value.origin.parts, value.seq,
+                tuple(((TAG_ADDRESS,) + addr.parts, cost)
+                      for addr, cost in sorted(value.neighbors.items())))
+    if kind is DataPdu:
+        return (TAG_DATA_PDU, encode(value.src_addr), encode(value.dst_addr),
+                value.ttl, value.priority, value.src_cep, value.dst_cep,
+                value.seq, encode(value.payload), value.payload_size,
+                value.drf)
+    if kind is ControlPdu:
+        return (TAG_CONTROL_PDU, encode(value.src_addr),
+                encode(value.dst_addr), value.ttl, value.priority,
+                value.kind, value.src_cep, value.dst_cep, value.ack_seq,
+                value.credit, (TAG_TUPLE,) + tuple(value.sack))
+    if kind is ManagementPdu:
+        return (TAG_MGMT_PDU, encode(value.src_addr), encode(value.dst_addr),
+                value.ttl, value.priority, encode(value.message))
+    raise CodecError(
+        f"cannot encode {kind.__name__} for the wire: only PDUs, RIEP "
+        f"messages, LSAs, names, and JSON-like values may cross a cut")
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def decode(data: Any) -> Any:
+    """Rebuild the live value of an encoded form (interning addresses,
+    restoring size caches)."""
+    if not isinstance(data, tuple):
+        return data
+    tag = data[0]
+    if tag == TAG_TUPLE:
+        return tuple(decode(item) for item in data[1:])
+    if tag == TAG_LIST:
+        return [decode(item) for item in data[1:]]
+    if tag == TAG_DICT:
+        return {decode(key): decode(val) for key, val in data[1:]}
+    if tag == TAG_SET:
+        return {decode(item) for item in data[1:]}
+    if tag == TAG_FROZENSET:
+        return frozenset(decode(item) for item in data[1:])
+    if tag == TAG_ADDRESS:
+        return Address(*data[1:])
+    if tag == TAG_APP_NAME:
+        return ApplicationName(data[1], data[2])
+    if tag == TAG_DIF_NAME:
+        return DifName(data[1])
+    if tag == TAG_RIEP:
+        _tag, opcode, obj, value, invoke_id, result, size = data
+        message = RiepMessage(opcode, obj=obj, value=decode(value),
+                              invoke_id=invoke_id, result=result)
+        message._size_cache = size
+        return message
+    if tag == TAG_LSA:
+        _tag, origin, seq, neighbors = data
+        return Lsa(Address(*origin[1:]), seq,
+                   {Address(*addr[1:]): cost for addr, cost in neighbors})
+    if tag == TAG_DATA_PDU:
+        (_tag, src, dst, ttl, priority, src_cep, dst_cep, seq, payload,
+         payload_size, drf) = data
+        return DataPdu(decode(src), decode(dst), src_cep, dst_cep, seq,
+                       decode(payload), payload_size, drf=drf, ttl=ttl,
+                       priority=priority)
+    if tag == TAG_CONTROL_PDU:
+        (_tag, src, dst, ttl, priority, kind, src_cep, dst_cep, ack_seq,
+         credit, sack) = data
+        return ControlPdu(decode(src), decode(dst), kind, src_cep, dst_cep,
+                          ack_seq=ack_seq, credit=credit,
+                          sack=decode(sack), ttl=ttl, priority=priority)
+    if tag == TAG_MGMT_PDU:
+        _tag, src, dst, ttl, priority, message = data
+        return ManagementPdu(decode(src), decode(dst), decode(message),
+                             ttl=ttl, priority=priority)
+    raise CodecError(f"unknown wire tag {tag!r}")
+
+
+def decode_reencode(data: Any) -> Any:
+    """``encode(decode(data))`` — the byte-stability probe.
+
+    Module-level so it can run as a sweeps :class:`~repro.sweeps.Job`
+    in a ``spawn``-ed worker: the round trip must canonicalize to the
+    same bytes in a fresh interpreter (no fork-inherited interning).
+    """
+    return encode(decode(data))
+
+
+def roundtrip_rows(samples: Tuple[Any, ...]) -> list:
+    """Sweeps job target: decode→re-encode each encoded sample and
+    report stability (run under ``spawn`` by ``tests/test_codec.py`` to
+    prove the round trip holds in a fresh interpreter, where nothing —
+    interned addresses included — is inherited from the parent)."""
+    import os
+    rows = []
+    for index, data in enumerate(samples):
+        redone = decode_reencode(data)
+        rows.append({"index": index, "stable": redone == data,
+                     "size": (encoded_wire_size(data)
+                              if isinstance(data, tuple) and data[0] in
+                              (TAG_DATA_PDU, TAG_CONTROL_PDU, TAG_MGMT_PDU)
+                              else -1),
+                     "pid": os.getpid()})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Size accounting over the encoded form
+# ----------------------------------------------------------------------
+def encoded_wire_size(data: Any) -> int:
+    """A PDU's on-wire size computed from its *encoded* form.
+
+    Independent of both the live object's :meth:`wire_size` and the
+    size carried inside an encoded RIEP message — that independence is
+    what makes the consistency regression test meaningful.
+    """
+    if not isinstance(data, tuple):
+        raise CodecError(f"not an encoded PDU: {data!r}")
+    tag = data[0]
+    if tag == TAG_DATA_PDU:
+        return DATA_HEADER_BYTES + data[9]
+    if tag == TAG_CONTROL_PDU:
+        return CONTROL_HEADER_BYTES + 4 * (len(data[10]) - 1)
+    if tag == TAG_MGMT_PDU:
+        body = data[5]
+        if isinstance(body, tuple) and body and body[0] == TAG_RIEP:
+            return MGMT_HEADER_BYTES + encoded_riep_size(body)
+        return MGMT_HEADER_BYTES + 64   # non-RIEP bodies: flat record
+    raise CodecError(f"not an encoded PDU tag: {tag!r}")
+
+
+def encoded_riep_size(data: Any) -> int:
+    """A RIEP message's body size recomputed from its encoded form (the
+    same accounting as :meth:`RiepMessage.estimate_size`, ignoring the
+    carried size field)."""
+    if not isinstance(data, tuple) or data[0] != TAG_RIEP:
+        raise CodecError(f"not an encoded RIEP message: {data!r}")
+    _tag, opcode, obj, value, _invoke_id, _result, _size = data
+    body = len(opcode) + len(obj) + 12
+    if value is not None:
+        body += _encoded_value_size(value)
+    return body
+
+
+def _encoded_value_size(value: Any) -> int:
+    """:func:`repro.core.riep._estimate_value_size` over encoded data:
+    tags are free, members are charged by the live rules."""
+    if not isinstance(value, tuple):
+        return _estimate_value_size(value)
+    tag = value[0]
+    if tag in (TAG_TUPLE, TAG_LIST, TAG_SET, TAG_FROZENSET):
+        return 2 + sum(_encoded_value_size(item) for item in value[1:])
+    if tag == TAG_DICT:
+        return 2 + sum(_encoded_value_size(key) + _encoded_value_size(val)
+                       for key, val in value[1:])
+    # tagged objects (addresses, names, nested PDUs...) are "arbitrary
+    # objects" to the live estimator: a flat record
+    return 32
+
+
+def check_size_consistency(pdu: Any) -> None:
+    """Assert the three size accountings agree for one PDU:
+
+    1. the live object's ``wire_size()``;
+    2. :func:`encoded_wire_size` over the encoded form (recomputed,
+       carried caches ignored);
+    3. ``wire_size()`` of the decoded copy with every cache cleared.
+
+    Raises :class:`CodecError` on any mismatch.
+    """
+    live = pdu.wire_size()
+    encoded = encode(pdu)
+    from_encoded = encoded_wire_size(encoded)
+    copy = decode(encoded)
+    if isinstance(copy, ManagementPdu) and isinstance(copy.message,
+                                                     RiepMessage):
+        copy.message._size_cache = None   # force the recompute path
+    recomputed = copy.wire_size()
+    if not live == from_encoded == recomputed:
+        raise CodecError(
+            f"size accounting diverged for {type(pdu).__name__}: "
+            f"live={live} encoded={from_encoded} recomputed={recomputed}")
+
+
+def is_wire_data(data: Any) -> bool:
+    """True when ``data`` is pure wire data all the way down — nothing
+    but scalars and tuples.  The boundary-frame invariant the shard
+    tests pin: no live object references ever sit in an outbox."""
+    if isinstance(data, _SCALARS):
+        return True
+    if isinstance(data, tuple):
+        return all(is_wire_data(item) for item in data)
+    return False

@@ -344,15 +344,33 @@ def iter_scale_jobs(tiers: List[str] = ("small", "medium", "large"),
     return jobs
 
 
-def build_flood_spec(regions: int, hosts_per_region: int):
+def _hosts_per_region_list(regions: int, hosts_per_region) -> List[int]:
+    """Normalize the per-region host count: an int plant is uniform, a
+    sequence is a skewed plant (one entry per region)."""
+    if isinstance(hosts_per_region, int):
+        return [hosts_per_region] * regions
+    counts = [int(count) for count in hosts_per_region]
+    if len(counts) != regions:
+        raise ValueError(f"skewed plant needs {regions} host counts, "
+                         f"got {len(counts)}")
+    return counts
+
+
+def build_flood_spec(regions: int, hosts_per_region):
     """The E6 physical plant as a pure-data
     :class:`~repro.shard.plan.NetworkSpec` (same shape as
-    :func:`build_physical`, shardable by region)."""
+    :func:`build_physical`, shardable by region).
+
+    ``hosts_per_region`` may be a sequence (one count per region) to
+    build a *skewed* plant — the shape the cost-weighted shard balance
+    exists for.
+    """
     from ..shard import LinkSpec, NetworkSpec
+    counts = _hosts_per_region_list(regions, hosts_per_region)
     nodes = ["core"]
     links = []
     for region in range(regions):
-        border, hosts = _region_names(region, hosts_per_region)
+        border, hosts = _region_names(region, counts[region])
         nodes.append(border)
         links.append(LinkSpec(a=border, b="core",
                               name=f"{border}--core", delay=0.002))
@@ -363,22 +381,231 @@ def build_flood_spec(regions: int, hosts_per_region: int):
     return NetworkSpec(nodes=tuple(nodes), links=tuple(links))
 
 
-def flood_assignment(regions: int, hosts_per_region: int,
-                     shards: int) -> Dict[str, int]:
+def region_weights(regions: int, hosts_per_region) -> List[float]:
+    """Expected event volume per region, up to a constant: flood and
+    control-plane work alike scale with a region's link count (hosts
+    plus the border's backbone uplink)."""
+    return [float(count + 1)
+            for count in _hosts_per_region_list(regions, hosts_per_region)]
+
+
+def balanced_assignment(regions: int, hosts_per_region,
+                        shards: int) -> Dict[str, int]:
+    """Greedy cost-weighted partitioner (the adaptive shard balance).
+
+    Regions are weighed by expected event volume and placed
+    longest-processing-time-first onto the least-loaded shard; the
+    core — the backbone — is pinned with its heaviest talker region, so
+    the busiest shard is not also the one paying every relay.  On a
+    uniform plant this degenerates to a round-robin-equivalent spread;
+    on a skewed plant it tightens the round barrier (the per-round wait
+    is the *maximum* shard's work, which LPT minimizes to within 4/3 of
+    optimal).
+    """
+    shards = max(1, min(shards, regions))
+    weights = region_weights(regions, hosts_per_region)
+    order = sorted(range(regions), key=lambda r: (-weights[r], r))
+    load = [0.0] * shards
+    region_shard: Dict[int, int] = {}
+    for region in order:
+        target = min(range(shards), key=lambda s: (load[s], s))
+        region_shard[region] = target
+        load[target] += weights[region]
+    counts = _hosts_per_region_list(regions, hosts_per_region)
+    assignment = {"core": region_shard[order[0]]}
+    for region in range(regions):
+        border, hosts = _region_names(region, counts[region])
+        for node in [border] + hosts:
+            assignment[node] = region_shard[region]
+    return assignment
+
+
+def flood_assignment(regions: int, hosts_per_region,
+                     shards: int, balance: bool = False) -> Dict[str, int]:
     """Node → shard: region ``r`` (border + hosts) lands on shard
     ``r % shards``; the core rides with shard 0, so every cut link is a
-    border–core backbone link (delay 0.002 — the lookahead)."""
+    border–core backbone link (delay 0.002 — the lookahead).  With
+    ``balance`` the modulo spread is replaced by the cost-weighted
+    :func:`balanced_assignment`."""
+    if balance:
+        return balanced_assignment(regions, hosts_per_region, shards)
     shards = max(1, min(shards, regions))
+    counts = _hosts_per_region_list(regions, hosts_per_region)
     assignment = {"core": 0}
     for region in range(regions):
-        border, hosts = _region_names(region, hosts_per_region)
+        border, hosts = _region_names(region, counts[region])
         for node in [border] + hosts:
             assignment[node] = region % shards
     return assignment
 
 
+#: The stateful tier: (regions, hosts/region) per named size.  Smaller
+#: than :data:`SCALE_SIZES` deliberately — a stateful system runs the
+#: whole control plane (enrollment, RIEP, flooding, keepalives), so a
+#: "small" stateful plant already moves more PDUs than a large flood.
+STATEFUL_SIZES: Dict[str, Tuple[int, int]] = {
+    "small": (3, 4),       # 16 systems
+    "medium": (6, 6),      # 43 systems
+    "large": (10, 10),     # 111 systems
+}
+
+#: Stateful enrollment schedule constants (simulated seconds).  Odd
+#: spacings, co-prime with the plant's 1/2 ms hop delays, keep causal
+#: chains tie-free (see repro.shard.stateful).  Borders join first
+#: (their authenticator is the bootstrap core), hosts after a margin
+#: that covers the slowest border handshake.
+STATEFUL_BORDER_START = 0.0511
+STATEFUL_BORDER_SPACING = 0.0511
+STATEFUL_HOST_SPACING = 0.0127
+STATEFUL_HOST_MARGIN = 0.1003
+STATEFUL_SETTLE = 1.2007
+
+
+def build_stateful_workload(regions: int, hosts_per_region) -> Dict[str, Any]:
+    """The flat configuration's *control plane* as a pure-data workload:
+    bootstrap at the core, every border then every host enrolling at
+    fixed staggered times, unique topological hints per system (so
+    address assignment is a pure function of the joiner — the property
+    that lets each shard's Dif replica assign independently; see
+    :mod:`repro.shard.stateful`)."""
+    from ..shard import stateful_workload
+    counts = _hosts_per_region_list(regions, hosts_per_region)
+    hints: Dict[str, Tuple[int, ...]] = {"core": (1,)}
+    enrollments: List[Tuple[str, str, str, float]] = []
+    for region in range(regions):
+        border, _hosts = _region_names(region, counts[region])
+        hints[border] = (2 + region, 0)
+        enrollments.append((border, "core", f"shim:{border}--core",
+                            STATEFUL_BORDER_START
+                            + region * STATEFUL_BORDER_SPACING))
+    host_start = (STATEFUL_BORDER_START + regions * STATEFUL_BORDER_SPACING
+                  + STATEFUL_HOST_MARGIN)
+    index = 0
+    for region in range(regions):
+        border, hosts = _region_names(region, counts[region])
+        for host_index, host in enumerate(hosts):
+            hints[host] = (2 + region, 1 + host_index)
+            enrollments.append((host, border, f"shim:{host}--{border}",
+                                host_start + index * STATEFUL_HOST_SPACING))
+            index += 1
+    until = host_start + index * STATEFUL_HOST_SPACING + STATEFUL_SETTLE
+    return stateful_workload("flat", "core", enrollments, hints, until=until)
+
+
+def _stateful_row(node_stats: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The deterministic columns shared by every stateful row: RIB
+    fingerprint over all members (must be invariant across shard
+    counts) and the aggregate routing state."""
+    import hashlib
+    text = "\n".join(repr(row) for row in node_stats)
+    return {
+        "table_rows": sum(row["table_size"] for row in node_stats),
+        "lsas_received": sum(row["lsas_received"] for row in node_stats),
+        "rib_sha256": hashlib.sha256(text.encode()).hexdigest()[:16],
+    }
+
+
+def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
+                       seed: int = 1, mode: str = "auto",
+                       balance: bool = False) -> Dict[str, Any]:
+    """One stateful-tier row: the flat configuration's *control plane*
+    (enrollment + RIEP + LSA flooding + keepalives) run unsharded
+    (``shards=1``) or region-sharded over worker processes.
+
+    The deterministic columns — enrolled members, total table rows,
+    LSAs received, and the combined RIB fingerprint — must be
+    bit-invariant across shard counts; ``tests/test_shard_stateful.py``
+    pins the 2-shard split row-identical (float enrollment timestamps
+    included) to the unsharded run.
+    """
+    from ..shard import RegionPlan, run_sharded, run_unsharded_stateful
+    spec = build_flood_spec(regions, hosts_per_region)
+    workload = build_stateful_workload(regions, hosts_per_region)
+    until = workload["until"]
+    n = len(spec.nodes)
+    started = time.perf_counter()
+    if shards <= 1:
+        reference = run_unsharded_stateful(spec, workload, seed=seed,
+                                           until=until)
+        wall = time.perf_counter() - started
+        row = {
+            "config": "flat-stateful",
+            "systems": n,
+            "regions": regions,
+            "shards": 1,
+            "enrolled": reference["enrolled"],
+            "rounds": 1,
+            "frames_relayed": 0,
+        }
+        row.update(_stateful_row(reference["node_stats"]))
+        events = reference["events"]
+    else:
+        plan = RegionPlan(spec, flood_assignment(regions, hosts_per_region,
+                                                 shards, balance=balance))
+        result = run_sharded(plan, workload, seed=seed, mode=mode,
+                             until=until, collect_traces=False)
+        wall = time.perf_counter() - started
+        row = {
+            "config": "flat-stateful",
+            "systems": n,
+            "regions": regions,
+            "shards": len(plan.regions),
+            "enrolled": sum(s["enrolled"] for s in result.shards),
+            "rounds": result.rounds,
+            "frames_relayed": result.frames_relayed,
+        }
+        row.update(_stateful_row(result.node_stats))
+        events = result.events
+    row.update({
+        "wall_s": round(wall, 2),
+        "events": events,
+        "events_per_s": int(events / wall) if wall > 0 else 0,
+    })
+    return row
+
+
+def iter_stateful_jobs(tiers: List[str] = ("small", "medium"),
+                       shards: int = 2, seed: int = 1,
+                       balance: bool = False) -> List[Job]:
+    """The stateful sharded tier as data: per tier, the single-engine
+    reference row and the ``shards``-way partitioned row.  Same
+    dispatch caveats as :func:`iter_flood_jobs` (each job is one whole
+    sharded run)."""
+    jobs = []
+    for tier in tiers:
+        if tier not in STATEFUL_SIZES:
+            raise ValueError(f"unknown stateful tier {tier!r}; "
+                             f"known: {', '.join(STATEFUL_SIZES)}")
+        regions, hosts = STATEFUL_SIZES[tier]
+        for count in dict.fromkeys((1, shards)):
+            jobs.append(Job(
+                "repro.experiments.e6_scalability:run_stateful_scale",
+                kwargs={"regions": regions, "hosts_per_region": hosts,
+                        "shards": count, "seed": seed, "balance": balance},
+                group="e6-stateful",
+                label=f"e6-stateful flat {tier} x{count}"))
+    return jobs
+
+
+def stateful_trace_digests(regions: int, hosts_per_region: int,
+                           shards: int, seed: int = 0) -> List[Dict[str, Any]]:
+    """Per-shard trace SHA-256s of a canned stateful plant (job target
+    for the golden-fingerprint checks, the stateful analogue of
+    :func:`shard_trace_digests`)."""
+    from ..shard import RegionPlan, run_sharded
+    spec = build_flood_spec(regions, hosts_per_region)
+    workload = build_stateful_workload(regions, hosts_per_region)
+    plan = RegionPlan(spec, flood_assignment(regions, hosts_per_region,
+                                             shards))
+    result = run_sharded(plan, workload, seed=seed,
+                         until=workload["until"])
+    return [{"shard": s["shard"], "sha256": s["trace_sha256"]}
+            for s in result.shards]
+
+
 def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
-                    seed: int = 1, mode: str = "auto") -> Dict[str, Any]:
+                    seed: int = 1, mode: str = "auto",
+                    balance: bool = False) -> Dict[str, Any]:
     """One sharded-tier row: the flat configuration's flooding fan-out
     (every system originates one LSA-style announcement, flooded to all
     n systems) at frame level, partitioned over ``shards`` region
@@ -415,7 +642,7 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
     else:
         plan = RegionPlan(spec,
                           flood_assignment(regions, hosts_per_region,
-                                           shards))
+                                           shards, balance=balance))
         result = run_sharded(plan, workload, seed=seed, mode=mode,
                              collect_rows=False, collect_traces=False)
         wall = time.perf_counter() - started
@@ -456,7 +683,8 @@ def shard_trace_digests(regions: int, hosts_per_region: int,
 
 
 def iter_flood_jobs(tiers: List[str] = ("small", "medium", "large"),
-                    shards: int = 2, seed: int = 1) -> List[Job]:
+                    shards: int = 2, seed: int = 1,
+                    balance: bool = False) -> List[Job]:
     """The sharded tier as data: per tier, the single-engine reference
     row and the ``shards``-way partitioned row.  Each job is one whole
     sharded run — the coordinator spawns its own per-region workers, so
@@ -473,7 +701,7 @@ def iter_flood_jobs(tiers: List[str] = ("small", "medium", "large"),
             jobs.append(Job(
                 "repro.experiments.e6_scalability:run_flood_scale",
                 kwargs={"regions": regions, "hosts_per_region": hosts,
-                        "shards": count, "seed": seed},
+                        "shards": count, "seed": seed, "balance": balance},
                 group="e6-shard",
                 label=f"e6-shard flat-flood {tier} x{count}"))
     return jobs

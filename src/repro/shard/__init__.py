@@ -15,17 +15,21 @@ E6 scale tier (``repro e6-scale --shards N``).
 
 from .coordinator import (ShardCoordinator, ShardRunError, ShardRunResult,
                           run_sharded)
-from .engine import BoundaryFrame, BoundaryHalf, ShardEngine
+from .engine import (BoundaryFrame, BoundaryHalf, ShardEngine,
+                     attach_workload)
 from .flood import (all_nodes_announce, attach_flood, delivery_rows,
                     flood_workload, node_stat_rows, run_unsharded)
 from .plan import (BoundaryPort, LinkSpec, NetworkSpec, RegionPlan,
                    RegionSpec, ShardPlanError, assignment_by_prefix)
+from .stateful import (StatefulControlPlane, rib_fingerprint,
+                       run_unsharded_stateful, stateful_workload)
 
 __all__ = [
     "BoundaryFrame", "BoundaryHalf", "BoundaryPort", "LinkSpec",
     "NetworkSpec", "RegionPlan", "RegionSpec", "ShardCoordinator",
     "ShardPlanError", "ShardRunError", "ShardRunResult",
-    "all_nodes_announce", "assignment_by_prefix", "attach_flood",
-    "delivery_rows", "flood_workload", "node_stat_rows", "run_sharded",
-    "run_unsharded",
+    "StatefulControlPlane", "all_nodes_announce", "assignment_by_prefix",
+    "attach_flood", "attach_workload", "delivery_rows", "flood_workload",
+    "node_stat_rows", "rib_fingerprint", "run_sharded", "run_unsharded",
+    "run_unsharded_stateful", "stateful_workload",
 ]

@@ -4,12 +4,26 @@ A boundary link is cut in two.  The sending region owns the transmit
 queue, the serialization clock, and the (absent, by plan validation)
 loss decision — everything up to the moment the frame is "on the wire".
 At that point, instead of scheduling local delivery, the egress half
-records a **timestamped boundary frame** ``(arrival_time, link, payload,
-size)`` with ``arrival_time = now + propagation delay``.  The
-coordinator relays the frame between rounds, and the receiving region's
-half-link delivers it at exactly ``arrival_time`` — the same float the
-unsharded :class:`~repro.sim.link.Link` would have computed, so delivery
-timing is bit-identical, not merely close.
+records a **timestamped boundary frame** ``(arrival_time, link,
+wire_payload, size)`` with ``arrival_time = now + propagation delay``.
+The coordinator relays the frame between rounds, and the receiving
+region's half-link delivers it at exactly ``arrival_time`` — the same
+float the unsharded :class:`~repro.sim.link.Link` would have computed,
+so delivery timing is bit-identical, not merely close.
+
+``wire_payload`` is **pure data**: the payload is run through the wire
+codec (:mod:`repro.core.codec`) at the serialization end and decoded at
+delivery, so a frame never carries live object references across the
+cut — which is what lets the *control plane* (enrollment RIEP, LSA
+floods, keepalives, flow allocation) cross persistent worker processes,
+not just primitive flood tuples.  A payload the codec rejects fails at
+the sender, loudly.
+
+Each half also knows which side of the original link it owns
+(``local_index``): the local node attaches to the same end it would
+hold on the unsharded link, so direction indices — and everything keyed
+on end identity, like the shim layer's even/odd flow-id split — match
+the unsharded build exactly.
 
 Frames whose arrival lands exactly on a round horizon are injected after
 the round ends and execute in the next round — deterministically, since
@@ -22,46 +36,75 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core import codec as wire_codec
 from ..sim.link import Link
 from ..sim.network import Network
-from .flood import attach_flood, delivery_rows, node_stat_rows
+from .flood import FLOOD_KIND, FloodRun, attach_flood
 from .plan import BoundaryPort, RegionSpec, UniformLoss
 
-#: (arrival_time, link_name, payload, size_bytes) — pure data, picklable
+#: (arrival_time, link_name, wire_payload, size_bytes) — pure data,
+#: picklable; ``wire_payload`` is the codec's tagged-tuple form
 BoundaryFrame = Tuple[float, str, Any, int]
+
+
+def attach_workload(network: Network, workload: Dict[str, Any],
+                    local_nodes: Optional[Tuple[str, ...]] = None):
+    """Instantiate a workload description on one engine.
+
+    Dispatches on ``workload["kind"]``; every workload object exposes
+    the same surface (``delivery_rows`` / ``node_stat_rows`` /
+    ``summary_extra`` / ``trace_lines``), so the engine, coordinator,
+    and trace discipline are workload-agnostic.
+    """
+    kind = workload.get("kind")
+    if kind == FLOOD_KIND:
+        return FloodRun(attach_flood(network, workload,
+                                     local_nodes=local_nodes))
+    from .stateful import STATEFUL_KIND, StatefulControlPlane
+    if kind == STATEFUL_KIND:
+        return StatefulControlPlane(network, workload,
+                                    local_nodes=local_nodes)
+    raise ValueError(f"unknown workload kind {kind!r}")
 
 
 class BoundaryHalf(Link):
     """The locally owned half of a cross-region link.
 
-    The local node attaches to end 0 and transmits normally; end 1 is a
-    ghost (the real peer lives in another region's simulation).  Egress
-    frames land in the shard's outbox at serialization end; ingress
-    frames are injected by :meth:`ShardEngine.inject` and delivered
-    through :meth:`deliver_inbound`, which keeps the delivered-frame
-    statistics and trace counters of the unsharded link.
+    The local node attaches to end ``local_index`` — the same end it
+    owns on the unsharded link — and transmits normally; the other end
+    is a ghost (the real peer lives in another region's simulation).
+    Egress frames land in the shard's outbox, codec-encoded, at
+    serialization end; ingress frames are injected by
+    :meth:`ShardEngine.inject` and delivered through
+    :meth:`deliver_inbound`, which decodes and keeps the
+    delivered-frame statistics and trace counters of the unsharded
+    link.
     """
 
     def __init__(self, engine, name: str, outbox: List[BoundaryFrame],
-                 **kwargs: Any) -> None:
+                 local_index: int = 0, **kwargs: Any) -> None:
         super().__init__(engine, name, **kwargs)
         self._outbox = outbox
+        self.local_index = local_index
 
     def _schedule_delivery(self, direction: int, payload: Any,
                            size: int) -> None:
         # identical float arithmetic to Link.call_later(delay, ...):
-        # the peer region will deliver at exactly this time
+        # the peer region will deliver at exactly this time.  The
+        # payload crosses as wire data — never as a live object.
         self._outbox.append(
-            (self._engine.now + self.delay, self.name, payload, size))
+            (self._engine.now + self.delay, self.name,
+             wire_codec.encode(payload), size))
 
     def deliver_inbound(self, payload: Any, size: int) -> None:
-        """Deliver a relayed frame up the local stack (stats included)."""
+        """Decode and deliver a relayed frame up the local stack
+        (stats included, direction indices as on the unsharded link)."""
         if not self._up:
             return
-        self.frames_delivered[1] += 1
-        self.bytes_delivered[1] += size
+        self.frames_delivered[1 - self.local_index] += 1
+        self.bytes_delivered[1 - self.local_index] += size
         self._trace_count("link.delivered")
-        self.ends[0].deliver(payload, size)
+        self.ends[self.local_index].deliver(wire_codec.decode(payload), size)
 
 
 class ShardEngine:
@@ -90,18 +133,23 @@ class ShardEngine:
         self._halves: Dict[str, BoundaryHalf] = {}
         for port in region.boundary:
             self._attach_boundary(port)
-        self.floods = attach_flood(self.network, workload,
-                                   local_nodes=region.nodes)
+        self.workload = attach_workload(self.network, workload,
+                                        local_nodes=region.nodes)
 
     def _attach_boundary(self, port: BoundaryPort) -> None:
         link = port.link
+        local_index = 0 if port.local_node == link.a else 1
         half = BoundaryHalf(
             self.network.engine, link.name, self.outbox,
+            local_index=local_index,
             capacity_bps=link.capacity_bps, delay=link.delay,
             queue_limit=link.queue_limit,
             rng=self.network.streams.stream(f"link:{link.name}"),
             tracer=self.network.tracer)
-        self.network.attach_link(half, port.local_node)
+        if local_index == 0:
+            self.network.attach_link(half, port.local_node, None)
+        else:
+            self.network.attach_link(half, None, port.local_node)
         self._halves[link.name] = half
 
     # ------------------------------------------------------------------
@@ -133,12 +181,13 @@ class ShardEngine:
 
     # ------------------------------------------------------------------
     def delivery_rows(self) -> List[Dict[str, Any]]:
-        """This shard's first-delivery rows (see :mod:`.flood`)."""
-        return delivery_rows(self.floods)
+        """This shard's delivery rows (workload-defined; always carry
+        ``node``/``origin``/``seq`` merge keys)."""
+        return self.workload.delivery_rows()
 
     def node_stats(self) -> List[Dict[str, Any]]:
         """This shard's per-node stat rows."""
-        return node_stat_rows(self.floods)
+        return self.workload.node_stat_rows()
 
     def summary(self, include_trace: bool = True) -> Dict[str, Any]:
         """One row describing this shard's run.
@@ -152,10 +201,8 @@ class ShardEngine:
             "nodes": len(self.region.nodes),
             "events": self.network.engine.events_processed,
             "clock": self.clock,
-            "deliveries": sum(len(f.deliveries)
-                              for f in self.floods.values()),
-            "duplicates": sum(f.duplicates for f in self.floods.values()),
         }
+        row.update(self.workload.summary_extra())
         if include_trace:
             row["trace_sha256"] = hashlib.sha256(
                 self.trace_text().encode()).hexdigest()
@@ -165,8 +212,8 @@ class ShardEngine:
         """The canonical byte-stable trace of this shard's run.
 
         Same discipline as the scenario runner's trace: counters in
-        sorted order, deliveries with ``repr`` timestamps, one line per
-        observable.  Two runs of the same plan/workload/seed — in
+        sorted order, workload observables one line each, ``repr``
+        timestamps.  Two runs of the same plan/workload/seed — in
         process, forked, or spawned — must produce identical bytes;
         ``tests/test_trace_golden.py`` pins SHA-256s of these.
         """
@@ -174,13 +221,7 @@ class ShardEngine:
                  f"nodes={len(self.region.nodes)}"]
         for name, value in self.network.tracer.counters().items():
             lines.append(f"counter {name}={value}")
-        for row in self.delivery_rows():
-            lines.append(f"delivery {row['node']} {row['origin']} "
-                         f"{row['seq']} {row['time']!r}")
-        for stats in self.node_stats():
-            lines.append("node {node} announced={announced} "
-                         "received={received} duplicates={duplicates} "
-                         "forwarded={forwarded}".format(**stats))
+        lines.extend(self.workload.trace_lines())
         lines.append(f"clock={self.clock!r} "
                      f"events={self.network.engine.events_processed}")
         return "\n".join(lines) + "\n"

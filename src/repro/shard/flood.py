@@ -141,6 +141,41 @@ def attach_flood(network: Network, workload: Dict[str, Any],
     return floods
 
 
+class FloodRun:
+    """One engine's attached flood workload behind the common workload
+    interface (:func:`repro.shard.engine.attach_workload`): delivery
+    rows, per-node stats, summary fields, and the trace lines — all
+    byte-identical to the formats pinned before workloads were
+    pluggable."""
+
+    def __init__(self, floods: Dict[str, FloodNode]) -> None:
+        self.floods = floods
+
+    def delivery_rows(self) -> List[Dict[str, Any]]:
+        return delivery_rows(self.floods)
+
+    def node_stat_rows(self) -> List[Dict[str, Any]]:
+        return node_stat_rows(self.floods)
+
+    def summary_extra(self) -> Dict[str, Any]:
+        return {
+            "deliveries": sum(len(f.deliveries)
+                              for f in self.floods.values()),
+            "duplicates": sum(f.duplicates for f in self.floods.values()),
+        }
+
+    def trace_lines(self) -> List[str]:
+        lines = []
+        for row in self.delivery_rows():
+            lines.append(f"delivery {row['node']} {row['origin']} "
+                         f"{row['seq']} {row['time']!r}")
+        for stats in self.node_stat_rows():
+            lines.append("node {node} announced={announced} "
+                         "received={received} duplicates={duplicates} "
+                         "forwarded={forwarded}".format(**stats))
+        return lines
+
+
 def delivery_rows(floods: Dict[str, FloodNode]) -> List[Dict[str, Any]]:
     """One row per first delivery, sorted by (node, origin, seq).
 

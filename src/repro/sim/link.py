@@ -171,12 +171,20 @@ class Link:
         A :class:`LossModel` shared by both directions.
     queue_limit:
         Maximum frames queued per direction awaiting serialization.
+    codec:
+        Optional wire codec (an object with ``encode``/``decode``, e.g.
+        the :mod:`repro.core.codec` module).  When set, the payload is
+        encoded to pure data at serialization end — the moment the
+        frame is "on the wire" — and decoded at delivery, so the link
+        carries exactly what a real wire could.  ``sim`` stays
+        stack-agnostic: the codec is injected by the layer above.
     """
 
     def __init__(self, engine: Engine, name: str, capacity_bps: float = 1e8,
                  delay: float = 0.001, loss: Optional[LossModel] = None,
                  queue_limit: int = 256, rng: Optional[random.Random] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None, codec: Optional[Any] = None
+                 ) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bps}")
         if delay < 0:
@@ -189,6 +197,7 @@ class Link:
         self.queue_limit = queue_limit
         self._rng = rng if rng is not None else random.Random(0)
         self._tracer = tracer
+        self._codec = codec
         self.ends: Tuple[LinkEnd, LinkEnd] = (
             LinkEnd(self, 0, f"{name}[0]"),
             LinkEnd(self, 1, f"{name}[1]"),
@@ -292,10 +301,16 @@ class Link:
     def _schedule_delivery(self, direction: int, payload: Any, size: int) -> None:
         """Queue the on-the-wire frame for delivery after propagation.
 
-        Subclasses that cut a link at a simulation boundary (the shard
-        subsystem's half-links) override this single seam: the loss
-        decision, queueing, and serialization above it stay shared.
+        This is the serialization end — the single seam where a live
+        payload becomes wire data.  With a codec installed the payload
+        crosses as its encoded form; subclasses that cut a link at a
+        simulation boundary (the shard subsystem's half-links) override
+        this seam to capture the encoded frame instead of scheduling
+        local delivery.  The loss decision, queueing, and serialization
+        above it stay shared either way.
         """
+        if self._codec is not None:
+            payload = self._codec.encode(payload)
         self._engine.call_later(
             self.delay, self._deliver, direction, payload, size,
             label=self._rx_label)
@@ -303,6 +318,8 @@ class Link:
     def _deliver(self, direction: int, payload: Any, size: int) -> None:
         if not self._up:
             return
+        if self._codec is not None:
+            payload = self._codec.decode(payload)
         self.frames_delivered[direction] += 1
         self.bytes_delivered[direction] += size
         self._trace_count("link.delivered")
@@ -337,11 +354,12 @@ class WirelessLink(Link):
     def __init__(self, engine: Engine, name: str, capacity_bps: float = 2e7,
                  delay: float = 0.004, signal: float = 1.0,
                  queue_limit: int = 128, rng: Optional[random.Random] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 codec: Optional[Any] = None) -> None:
         self._signal_loss = SignalLoss(signal=signal)
         super().__init__(engine, name, capacity_bps=capacity_bps, delay=delay,
                          loss=self._signal_loss, queue_limit=queue_limit,
-                         rng=rng, tracer=tracer)
+                         rng=rng, tracer=tracer, codec=codec)
 
     @property
     def signal(self) -> float:

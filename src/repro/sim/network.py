@@ -21,11 +21,20 @@ from .trace import Tracer
 
 
 class Network:
-    """One simulated network: engine + tracer + nodes + links."""
+    """One simulated network: engine + tracer + nodes + links.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``codec`` (optional, an ``encode``/``decode`` pair such as the
+    :mod:`repro.core.codec` module) is handed to every link
+    :meth:`connect` creates: payloads then cross each link in their
+    pure-data wire form — the wire-faithful mode the codec tests use to
+    prove encoding is behavior-invisible.  ``sim`` itself never imports
+    a codec; the stack above injects one.
+    """
+
+    def __init__(self, seed: int = 0, codec: Optional[object] = None) -> None:
         self.engine = Engine()
         self.tracer = Tracer()
+        self.codec = codec
         self.streams = RandomStreams(seed)
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[str, Link] = {}
@@ -71,34 +80,42 @@ class Network:
         if wireless:
             link: Link = WirelessLink(self.engine, name, capacity_bps=capacity_bps,
                                       delay=delay, queue_limit=queue_limit,
-                                      rng=rng, tracer=self.tracer)
+                                      rng=rng, tracer=self.tracer,
+                                      codec=self.codec)
         else:
             link = Link(self.engine, name, capacity_bps=capacity_bps, delay=delay,
                         loss=loss, queue_limit=queue_limit, rng=rng,
-                        tracer=self.tracer)
+                        tracer=self.tracer, codec=self.codec)
         return self.attach_link(link, a, b)
 
-    def attach_link(self, link: Link, a: str, b: Optional[str] = None) -> Link:
+    def attach_link(self, link: Link, a: Optional[str],
+                    b: Optional[str] = None) -> Link:
         """Register an externally constructed link (e.g. a custom
         :class:`Link` subclass): end 0 attaches to node ``a``, end 1 to
-        ``b`` when given.  :meth:`connect` delegates here, so link
-        registration bookkeeping lives in one place.
+        ``b``; either may be ``None`` (but not both).  :meth:`connect`
+        delegates here, so link registration bookkeeping lives in one
+        place.
 
-        The shard subsystem uses the one-sided form for boundary
-        half-links whose far end lives in another region's simulation;
+        The shard subsystem uses the one-sided forms for boundary
+        half-links whose far end lives in another region's simulation —
+        ``a=None`` when the local node owns the original link's *b*
+        side, so frame direction indices (and anything keyed on them,
+        like shim flow-id parity) match the unsharded link exactly.
         :meth:`graph` skips such links (their ghost end belongs to no
         local node), while :meth:`endpoints_of` on one raises KeyError.
         """
         if link.name in self.links:
             raise ValueError(f"duplicate link name {link.name!r}")
+        if a is None and b is None:
+            raise ValueError(f"link {link.name!r}: at least one end must "
+                             f"attach to a node")
         self.links[link.name] = link
-        self.nodes[a].add_interface(link.ends[0])
-        self._end_owner[id(link.ends[0])] = a
-        if b is not None:
-            self.nodes[b].add_interface(link.ends[1])
-            self._end_owner[id(link.ends[1])] = b
-        else:
-            self._ghost_ends.add(id(link.ends[1]))
+        for index, owner in ((0, a), (1, b)):
+            if owner is not None:
+                self.nodes[owner].add_interface(link.ends[index])
+                self._end_owner[id(link.ends[index])] = owner
+            else:
+                self._ghost_ends.add(id(link.ends[index]))
         return link
 
     def endpoints_of(self, link: Link) -> Tuple[str, str]:

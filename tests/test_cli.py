@@ -46,6 +46,41 @@ class TestCli:
         assert labels == ["e6-scale flat small", "e6-scale recursive small"]
 
 
+class TestShardedScaleFlags:
+    """``--shards`` / ``--stateful`` / ``--balance`` wiring."""
+
+    def test_stateful_and_balance_require_shards(self, capsys):
+        assert main(["e6-scale", "--stateful"]) == 2
+        assert "--stateful/--balance" in capsys.readouterr().err
+        assert main(["e2", "--balance"]) == 2
+        assert "--stateful/--balance" in capsys.readouterr().err
+
+    def test_shards_applies_to_e6_scale_only(self, capsys):
+        assert main(["e2", "--shards", "2"]) == 2
+        assert "e6-scale" in capsys.readouterr().err
+
+    def test_stateful_tier_runs_and_pins_fingerprint(self, capsys,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_E6_STATEFUL_TIERS", "small")
+        assert main(["e6-scale", "--shards", "2", "--stateful"]) == 0
+        out = capsys.readouterr().out
+        assert "flat-stateful" in out and "rib_sha256" in out
+        assert "stateful" in out   # the table title names the tier
+
+    def test_stateful_tier_rejects_unknown_tier_env(self, capsys,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_E6_STATEFUL_TIERS", "galactic")
+        assert main(["e6-scale", "--shards", "2", "--stateful"]) == 2
+        assert "REPRO_E6_STATEFUL_TIERS" in capsys.readouterr().err
+
+    def test_stateful_jobs_honour_balance(self):
+        from repro.experiments.e6_scalability import (iter_flood_jobs,
+                                                      iter_stateful_jobs)
+        for jobs in (iter_stateful_jobs(["small"], shards=2, balance=True),
+                     iter_flood_jobs(["small"], shards=2, balance=True)):
+            assert jobs and all(job.kwargs["balance"] for job in jobs)
+
+
 class TestJobsFlag:
     """``--jobs`` parsing and the ``REPRO_JOBS`` fallback."""
 

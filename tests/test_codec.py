@@ -1,0 +1,242 @@
+"""The wire-format codec contract (see src/repro/core/codec.py).
+
+Three properties over every PDU kind, every RIEP opcode, LSAs, names,
+and a zoo of JSON-like payload values:
+
+* **round trip** — decode(encode(x)) is equal-valued to x;
+* **byte stability** — encode(decode(encode(x))) == encode(x), in this
+  process and in a spawn-ed worker with no inherited interning;
+* **size consistency** — the live ``wire_size()``, the size computed
+  from the encoded form without decoding, and the decoded copy's
+  recomputed size all agree (the regression the independently computed
+  ``RiepMessage._size_cache`` used to have no check against).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import codec
+from repro.core.names import Address, ApplicationName, DifName
+from repro.core.pdu import (ACK, CREDIT, KEEPALIVE, NACK, ControlPdu,
+                            DataPdu, ManagementPdu, Pdu)
+from repro.core.riep import (M_CONNECT, M_CREATE, M_READ_R, M_START,
+                             M_WRITE, RESULT_DENIED, RiepMessage)
+from repro.core.routing import Lsa
+
+A = Address(2, 0, 13)
+B = Address(7)
+
+
+def riep_value_zoo():
+    """Payload values covering every branch of the size estimator."""
+    return [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        2.5,
+        "a string",
+        b"\x00\x01\xff",
+        [1, "two", 3.0],
+        (4, (5, 6)),
+        {"origin": (1, 2), "seq": 9,
+         "neighbors": [((7,), 1.0), ((2, 0, 13), 2.0)]},
+        {"nested": {"deep": [None, {"x": b"y"}]}},
+        {1, "s", 2.5},
+        frozenset({("t", 1)}),
+        [],
+        {},
+    ]
+
+
+def pdu_zoo():
+    """At least one PDU of every kind, edge fields exercised."""
+    pdus = [
+        DataPdu(A, B, 5, 6, 7, "payload", 100),
+        DataPdu(B, A, 1, 2, 0, ("tuple", ["list", b"bytes"]), 0,
+                drf=True, ttl=3, priority=2),
+        ControlPdu(A, B, ACK, 5, 6, ack_seq=9, credit=4),
+        ControlPdu(B, A, NACK, 1, 2, sack=(11, 13, 17)),
+        ControlPdu(A, B, CREDIT, 0, 0, credit=32),
+        ControlPdu(A, B, KEEPALIVE, 0, 0),
+        ManagementPdu(None, None,
+                      RiepMessage(M_CONNECT, obj="/enrollment",
+                                  value={"name": "x.ipcp.h0", "dif": "flat",
+                                         "region": (2, 1), "address": None})),
+        ManagementPdu(A, None,
+                      RiepMessage(M_READ_R, obj="/enrollment",
+                                  invoke_id=4, result=RESULT_DENIED)),
+        ManagementPdu(A, B,
+                      RiepMessage(M_CREATE, obj="/flowalloc",
+                                  value={"src_app": "echo", "dst_app": "srv",
+                                         "qos": "best-effort", "src_cep": 3,
+                                         "src_addr": (2, 0, 13)})),
+        ManagementPdu(A, None, {"not": "a riep message"}),
+    ]
+    for value in riep_value_zoo():
+        pdus.append(ManagementPdu(
+            A, None, RiepMessage(M_WRITE, obj="/routing/lsa", value=value)))
+    return pdus
+
+
+def equal_pdu(a, b):
+    """Field-by-field PDU equality (PDUs define no __eq__)."""
+    if type(a) is not type(b):
+        return False
+    common = (a.src_addr == b.src_addr and a.dst_addr == b.dst_addr
+              and a.ttl == b.ttl and a.priority == b.priority)
+    if isinstance(a, DataPdu):
+        return common and (a.src_cep, a.dst_cep, a.seq, a.payload,
+                           a.payload_size, a.drf) == \
+            (b.src_cep, b.dst_cep, b.seq, b.payload, b.payload_size, b.drf)
+    if isinstance(a, ControlPdu):
+        return common and (a.kind, a.src_cep, a.dst_cep, a.ack_seq,
+                           a.credit, a.sack) == \
+            (b.kind, b.src_cep, b.dst_cep, b.ack_seq, b.credit, b.sack)
+    message_a, message_b = a.message, b.message
+    if isinstance(message_a, RiepMessage) != isinstance(message_b,
+                                                        RiepMessage):
+        return False
+    if isinstance(message_a, RiepMessage):
+        return common and (message_a.opcode, message_a.obj, message_a.value,
+                           message_a.invoke_id, message_a.result) == \
+            (message_b.opcode, message_b.obj, message_b.value,
+             message_b.invoke_id, message_b.result)
+    return common and message_a == message_b
+
+
+# ----------------------------------------------------------------------
+# Round trip + byte stability
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("index", range(len(pdu_zoo())))
+    def test_every_pdu_kind_round_trips(self, index):
+        pdu = pdu_zoo()[index]
+        encoded = pdu.encode()
+        assert codec.is_wire_data(encoded), encoded
+        copy = Pdu.decode(encoded)
+        assert equal_pdu(pdu, copy), (pdu, copy)
+        # byte stability: the encoded form is canonical
+        assert codec.encode(copy) == encoded
+
+    @pytest.mark.parametrize("index", range(len(riep_value_zoo())))
+    def test_every_value_shape_round_trips(self, index):
+        value = riep_value_zoo()[index]
+        encoded = codec.encode(value)
+        assert codec.is_wire_data(encoded)
+        assert codec.decode(encoded) == value
+        assert codec.decode_reencode(encoded) == encoded
+
+    def test_riep_message_round_trip(self):
+        message = RiepMessage(M_START, obj="/enrollment/auth",
+                              value={"credentials": "tok"}, invoke_id=7)
+        copy = RiepMessage.decode(message.encode())
+        assert (copy.opcode, copy.obj, copy.value, copy.invoke_id,
+                copy.result) == (message.opcode, message.obj, message.value,
+                                 message.invoke_id, message.result)
+        assert copy.encode() == message.encode()
+
+    def test_lsa_round_trip_reinterns_addresses(self):
+        lsa = Lsa(A, 4, {B: 1.0, Address(9): 2.5})
+        copy = Lsa.decode(lsa.encode())
+        assert copy.origin is A          # interning: identity, not just ==
+        assert copy.seq == 4 and copy.neighbors == lsa.neighbors
+        assert copy.to_value() == lsa.to_value()
+        assert copy.encode() == lsa.encode()
+
+    def test_names_round_trip(self):
+        for name in (A, B, Address(0), ApplicationName("proc", "2"),
+                     ApplicationName("p"), DifName("metro")):
+            assert codec.decode(codec.encode(name)) == name
+
+    def test_decoded_addresses_are_interned(self):
+        copy = codec.decode(codec.encode(Address(41, 5)))
+        assert copy is Address(41, 5)
+
+    def test_shim_frame_round_trips(self):
+        # what actually crosses a physical link in the stateful build:
+        # a shim frame wrapping a PDU
+        inner = ManagementPdu(None, None,
+                              RiepMessage(M_CONNECT, obj="/enrollment",
+                                          value={"dif": "flat"}))
+        frame = ("data", 4, inner, inner.wire_size())
+        encoded = codec.encode(frame)
+        assert codec.is_wire_data(encoded)
+        kind, flow_id, pdu, size = codec.decode(encoded)
+        assert (kind, flow_id, size) == ("data", 4, inner.wire_size())
+        assert equal_pdu(pdu, inner)
+        assert codec.encode((kind, flow_id, pdu, size)) == encoded
+
+    def test_encoded_forms_pickle_unchanged(self):
+        for pdu in pdu_zoo():
+            encoded = pdu.encode()
+            assert pickle.loads(pickle.dumps(encoded)) == encoded
+
+    def test_live_objects_are_rejected(self):
+        class Alien:
+            pass
+        with pytest.raises(codec.CodecError, match="cannot encode"):
+            codec.encode(Alien())
+        with pytest.raises(codec.CodecError, match="cannot encode"):
+            codec.encode(DataPdu(A, B, 1, 2, 3, Alien(), 10))
+        with pytest.raises(codec.CodecError, match="unknown wire tag"):
+            codec.decode(("??", 1))
+
+    def test_pdu_decode_rejects_non_pdu_data(self):
+        with pytest.raises(TypeError, match="not a PDU"):
+            Pdu.decode(codec.encode("just a string... no, a tuple"))
+        with pytest.raises(TypeError, match="not a RiepMessage"):
+            RiepMessage.decode(codec.encode((1, 2)))
+        with pytest.raises(TypeError, match="not an Lsa"):
+            Lsa.decode(codec.encode([1]))
+
+
+# ----------------------------------------------------------------------
+# Size consistency (the wire_size / _size_cache regression)
+# ----------------------------------------------------------------------
+class TestSizeConsistency:
+    @pytest.mark.parametrize("index", range(len(pdu_zoo())))
+    def test_three_accountings_agree(self, index):
+        pdu = pdu_zoo()[index]
+        codec.check_size_consistency(pdu)
+        assert codec.encoded_wire_size(pdu.encode()) == pdu.wire_size()
+
+    def test_decoded_riep_size_cache_matches_carried_and_recomputed(self):
+        message = RiepMessage(M_WRITE, obj="/routing/lsa",
+                              value={"origin": (1,), "seq": 2,
+                                     "neighbors": [((3,), 1.0)]})
+        carried = message.estimate_size()
+        copy = RiepMessage.decode(message.encode())
+        assert copy._size_cache == carried       # carried across the cut
+        copy._size_cache = None
+        assert copy.estimate_size() == carried   # and independently equal
+
+    def test_size_errors_are_loud(self):
+        with pytest.raises(codec.CodecError, match="not an encoded PDU"):
+            codec.encoded_wire_size("scalar")
+        with pytest.raises(codec.CodecError, match="not an encoded PDU tag"):
+            codec.encoded_wire_size(codec.encode((1, 2)))
+        with pytest.raises(codec.CodecError, match="not an encoded RIEP"):
+            codec.encoded_riep_size(codec.encode({"a": 1}))
+
+
+# ----------------------------------------------------------------------
+# Across a spawn-ed process boundary
+# ----------------------------------------------------------------------
+def test_round_trip_is_stable_in_spawned_workers():
+    """Encoded samples decoded and re-encoded inside spawn-ed pool
+    workers canonicalize to the same bytes: nothing in the round trip
+    depends on parent-process state (interning tables, caches)."""
+    from repro.sweeps import Job, SweepRunner
+    samples = tuple(pdu.encode() for pdu in pdu_zoo())
+    jobs = [Job("repro.core.codec:roundtrip_rows",
+                kwargs={"samples": samples}, group="codec",
+                label="spawned round trip")] * 2
+    rows = SweepRunner(workers=2, start_method="spawn").run(jobs)
+    assert len(rows) == 2 * len(samples)
+    assert all(row["stable"] for row in rows)
+    sizes = [pdu.wire_size() for pdu in pdu_zoo()]
+    for row in rows:
+        assert row["size"] == sizes[row["index"]]
