@@ -345,6 +345,18 @@ def main(argv: List[str]) -> int:
             print("--shards applies to `repro e6-scale` only",
                   file=sys.stderr)
             return 2
+        if shards_flag == 1 and (stateful_flag or balance_flag):
+            # mirroring the --jobs validation: a contradictory flag
+            # combination is an error, not a silently degenerate run —
+            # --shards 1 is the unsharded reference row, which neither
+            # shards the control plane nor has a partition to weigh
+            flags = "/".join(flag for flag, on in
+                             (("--stateful", stateful_flag),
+                              ("--balance", balance_flag)) if on)
+            print(f"{flags} contradicts --shards 1: the unsharded "
+                  f"reference row has no partition; use --shards 2 or "
+                  f"more", file=sys.stderr)
+            return 2
         return _sharded_scale_main(shards_flag, workers_flag,
                                    stateful_flag, balance_flag)
     if stateful_flag or balance_flag:

@@ -25,7 +25,7 @@ routing update when one access link flaps.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..apps.echo import EchoClient, EchoServer
 from ..core import (Dif, DifPolicies, Orchestrator, add_shims, build_dif_over,
@@ -460,14 +460,35 @@ STATEFUL_HOST_SPACING = 0.0127
 STATEFUL_HOST_MARGIN = 0.1003
 STATEFUL_SETTLE = 1.2007
 
+#: Sparse-traffic variant knobs: hosts enroll six times farther apart
+#: and keepalives tick four times slower, so the plant spends most of
+#: its simulated time with activity in only one or two regions at once.
+#: This is the regime the per-channel grant protocol exists for — the
+#: round-count regression test pins its advantage over global-min here
+#: — and the values stay odd / co-prime with the 1/2 ms hop delays so
+#: the tie-freeness precondition holds (see repro.shard.stateful).
+STATEFUL_SPARSE_HOST_SPACING = 0.0763
+STATEFUL_SPARSE_KEEPALIVE = 2.0113
+STATEFUL_SPARSE_SETTLE = 4.2007
 
-def build_stateful_workload(regions: int, hosts_per_region) -> Dict[str, Any]:
+
+def build_stateful_workload(regions: int, hosts_per_region, *,
+                            host_spacing: float = STATEFUL_HOST_SPACING,
+                            settle: float = STATEFUL_SETTLE,
+                            policies: Optional[Dict[str, float]] = None,
+                            ) -> Dict[str, Any]:
     """The flat configuration's *control plane* as a pure-data workload:
     bootstrap at the core, every border then every host enrolling at
     fixed staggered times, unique topological hints per system (so
     address assignment is a pure function of the joiner — the property
     that lets each shard's Dif replica assign independently; see
-    :mod:`repro.shard.stateful`)."""
+    :mod:`repro.shard.stateful`).
+
+    ``host_spacing`` / ``settle`` / ``policies`` reshape the traffic
+    density without touching the plant: the sparse tier
+    (:func:`build_sparse_stateful_workload`) stretches them so most
+    regions are idle at any instant.
+    """
     from ..shard import stateful_workload
     counts = _hosts_per_region_list(regions, hosts_per_region)
     hints: Dict[str, Tuple[int, ...]] = {"core": (1,)}
@@ -486,10 +507,28 @@ def build_stateful_workload(regions: int, hosts_per_region) -> Dict[str, Any]:
         for host_index, host in enumerate(hosts):
             hints[host] = (2 + region, 1 + host_index)
             enrollments.append((host, border, f"shim:{host}--{border}",
-                                host_start + index * STATEFUL_HOST_SPACING))
+                                host_start + index * host_spacing))
             index += 1
-    until = host_start + index * STATEFUL_HOST_SPACING + STATEFUL_SETTLE
-    return stateful_workload("flat", "core", enrollments, hints, until=until)
+    until = host_start + index * host_spacing + settle
+    return stateful_workload("flat", "core", enrollments, hints,
+                             policies=policies, until=until)
+
+
+def build_sparse_stateful_workload(regions: int,
+                                   hosts_per_region) -> Dict[str, Any]:
+    """The sparse-traffic stateful plant: same topology and causal
+    structure as :func:`build_stateful_workload`, but enrollments are
+    spread out and keepalives slowed so that at any simulated instant
+    only a couple of regions have work inside the old global-min
+    window.  Global-min rounds crawl through such a plant (every region
+    is stepped every 2 ms window regardless); per-channel grants let
+    the idle regions sit out — this workload is the regression anchor
+    for that separation."""
+    return build_stateful_workload(
+        regions, hosts_per_region,
+        host_spacing=STATEFUL_SPARSE_HOST_SPACING,
+        settle=STATEFUL_SPARSE_SETTLE,
+        policies={"keepalive_interval": STATEFUL_SPARSE_KEEPALIVE})
 
 
 def _stateful_row(node_stats: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -507,20 +546,27 @@ def _stateful_row(node_stats: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
                        seed: int = 1, mode: str = "auto",
-                       balance: bool = False) -> Dict[str, Any]:
+                       balance: bool = False, sparse: bool = False,
+                       protocol: str = "per-channel") -> Dict[str, Any]:
     """One stateful-tier row: the flat configuration's *control plane*
     (enrollment + RIEP + LSA flooding + keepalives) run unsharded
     (``shards=1``) or region-sharded over worker processes.
 
     The deterministic columns — enrolled members, total table rows,
     LSAs received, and the combined RIB fingerprint — must be
-    bit-invariant across shard counts; ``tests/test_shard_stateful.py``
-    pins the 2-shard split row-identical (float enrollment timestamps
-    included) to the unsharded run.
+    bit-invariant across shard counts *and* across protocols;
+    ``tests/test_shard_stateful.py`` pins the 2-shard split
+    row-identical (float enrollment timestamps included) to the
+    unsharded run.  ``sparse`` swaps in the sparse-traffic workload
+    (:func:`build_sparse_stateful_workload`); ``protocol`` selects the
+    round rule (``region_steps`` is where the protocols separate — see
+    :class:`repro.shard.coordinator.ShardRunResult`).
     """
     from ..shard import RegionPlan, run_sharded, run_unsharded_stateful
     spec = build_flood_spec(regions, hosts_per_region)
-    workload = build_stateful_workload(regions, hosts_per_region)
+    build = (build_sparse_stateful_workload if sparse
+             else build_stateful_workload)
+    workload = build(regions, hosts_per_region)
     until = workload["until"]
     n = len(spec.nodes)
     started = time.perf_counter()
@@ -529,12 +575,14 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
                                            until=until)
         wall = time.perf_counter() - started
         row = {
-            "config": "flat-stateful",
+            "config": "flat-stateful" + ("-sparse" if sparse else ""),
             "systems": n,
             "regions": regions,
             "shards": 1,
+            "protocol": "serial",
             "enrolled": reference["enrolled"],
             "rounds": 1,
+            "region_steps": 1,
             "frames_relayed": 0,
         }
         row.update(_stateful_row(reference["node_stats"]))
@@ -543,15 +591,18 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
         plan = RegionPlan(spec, flood_assignment(regions, hosts_per_region,
                                                  shards, balance=balance))
         result = run_sharded(plan, workload, seed=seed, mode=mode,
-                             until=until, collect_traces=False)
+                             protocol=protocol, until=until,
+                             collect_traces=False)
         wall = time.perf_counter() - started
         row = {
-            "config": "flat-stateful",
+            "config": "flat-stateful" + ("-sparse" if sparse else ""),
             "systems": n,
             "regions": regions,
             "shards": len(plan.regions),
+            "protocol": result.protocol,
             "enrolled": sum(s["enrolled"] for s in result.shards),
             "rounds": result.rounds,
+            "region_steps": result.steps,
             "frames_relayed": result.frames_relayed,
         }
         row.update(_stateful_row(result.node_stats))
@@ -637,6 +688,7 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
             "deliveries": reference["deliveries"],
             "duplicates": reference["duplicates"],
             "rounds": 1,
+            "region_steps": 1,
             "frames_relayed": 0,
         }
     else:
@@ -655,6 +707,7 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
             "deliveries": sum(s["deliveries"] for s in result.shards),
             "duplicates": sum(s["duplicates"] for s in result.shards),
             "rounds": result.rounds,
+            "region_steps": result.steps,
             "frames_relayed": result.frames_relayed,
         }
     row.update({

@@ -19,17 +19,22 @@ from .engine import (BoundaryFrame, BoundaryHalf, ShardEngine,
                      attach_workload)
 from .flood import (all_nodes_announce, attach_flood, delivery_rows,
                     flood_workload, node_stat_rows, run_unsharded)
+from .framing import (FrameFormatError, FrameTransport, PackedFrameTransport,
+                      pack_frames, unpack_frames)
 from .plan import (BoundaryPort, LinkSpec, NetworkSpec, RegionPlan,
-                   RegionSpec, ShardPlanError, assignment_by_prefix)
+                   RegionSpec, ShardPlanError, assignment_by_prefix,
+                   grant_horizons)
 from .stateful import (StatefulControlPlane, rib_fingerprint,
                        run_unsharded_stateful, stateful_workload)
 
 __all__ = [
-    "BoundaryFrame", "BoundaryHalf", "BoundaryPort", "LinkSpec",
-    "NetworkSpec", "RegionPlan", "RegionSpec", "ShardCoordinator",
-    "ShardPlanError", "ShardRunError", "ShardRunResult",
-    "StatefulControlPlane", "all_nodes_announce", "assignment_by_prefix",
-    "attach_flood", "attach_workload", "delivery_rows", "flood_workload",
-    "node_stat_rows", "rib_fingerprint", "run_sharded", "run_unsharded",
-    "run_unsharded_stateful", "stateful_workload",
+    "BoundaryFrame", "BoundaryHalf", "BoundaryPort", "FrameFormatError",
+    "FrameTransport", "LinkSpec", "NetworkSpec", "PackedFrameTransport",
+    "RegionPlan", "RegionSpec", "ShardCoordinator", "ShardPlanError",
+    "ShardRunError", "ShardRunResult", "StatefulControlPlane",
+    "all_nodes_announce", "assignment_by_prefix", "attach_flood",
+    "attach_workload", "delivery_rows", "flood_workload", "grant_horizons",
+    "node_stat_rows", "pack_frames", "rib_fingerprint", "run_sharded",
+    "run_unsharded", "run_unsharded_stateful", "stateful_workload",
+    "unpack_frames",
 ]

@@ -1,23 +1,36 @@
 """Drive per-region shard engines through conservative-lookahead rounds.
 
-The frame-exchange protocol (documented in docs/ARCHITECTURE.md):
+The frame-exchange protocol (documented in docs/ARCHITECTURE.md) comes
+in two flavours, selected by ``protocol=``:
 
-1. **floor** — the earliest pending activity anywhere: the minimum over
-   every region's next local event time and every relayed frame's
-   arrival time.  Nothing in the whole simulation can happen before it.
-2. **horizons** — region ``r`` may run to ``floor + lookahead(r)``,
-   where ``lookahead(r)`` is the minimum propagation delay over ``r``'s
-   boundary links (a region with no boundary links runs to completion —
-   nothing can ever reach it).  Any frame sent to ``r`` during this
-   round is sent at ``t >= floor`` and arrives at ``t + delay >= floor +
-   lookahead(r)``, i.e. never inside the window ``r`` just simulated.
-3. **step** — every region receives the frames relayed to it (scheduled
-   at their exact recorded arrival times), runs to its horizon, and
-   returns the boundary frames it emitted.
-4. **relay** — emitted frames are routed to the far region of their
-   link and delivered next round, sorted by arrival time (stable on
-   emission order) so injection order is identical in-process and
-   across worker processes.
+``per-channel`` (the default)
+    1. **ent** — each region's earliest possible activity: the minimum
+       of its next local event time and the arrival times of frames
+       already relayed toward it.
+    2. **grants** — :func:`~repro.shard.plan.grant_horizons` solves the
+       emission-bound fixpoint over the directed region channel graph
+       and grants region ``r`` the minimum over its *incoming* channels
+       of ``sender's bound + channel delay``.  The fixpoint is the
+       quiet-cut batching: a stretch of simulated time in which no
+       region has an event inside the old global-min window collapses
+       into one grant instead of a crawl of empty rounds.
+    3. **step the work set** — only regions that can actually act
+       (``ent <= grant``) are stepped; their pending frames are
+       injected at their exact recorded arrival times, they run to
+       their grant, and they return the frames they emitted.  Idle
+       regions are not contacted at all — a worker's boundary-round
+       count is the number of grants it consumes, not the number of
+       global barriers.
+    4. **relay** — emitted frames are routed to the far region of
+       their link and held until that region is next stepped, sorted
+       by arrival time (stable on emission order) so injection order
+       is identical in-process and across worker processes.
+
+``global-min`` (the PR-5 baseline, kept for regression comparison)
+    Every region, every round, runs to ``floor + lookahead(region)``
+    where ``floor`` is the global activity minimum — the coarser rule
+    the per-channel grants provably dominate (see the property test in
+    ``tests/test_shard_grants.py``).
 
 Rounds repeat until every engine is drained and no frames are in
 flight (or the ``until`` cap is reached).  Workers are persistent
@@ -28,7 +41,9 @@ subsystem established for jobs (and honouring its
 between rounds and so cannot be a fire-and-forget pool job.  Inside a
 ``multiprocessing`` pool worker (daemonic processes cannot have
 children) the coordinator transparently falls back to in-process
-execution — same rounds, same traces.
+execution — same rounds, same traces.  Frame batches cross worker
+pipes as one flat byte buffer per round per direction
+(:class:`~repro.shard.framing.PackedFrameTransport`).
 """
 
 from __future__ import annotations
@@ -41,9 +56,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..sweeps.runner import START_METHOD_ENV
 from .engine import BoundaryFrame, ShardEngine
-from .plan import RegionPlan
+from .framing import TRANSPORTS, FrameTransport
+from .plan import RegionPlan, grant_horizons
 
 MODES = ("auto", "inline", "process")
+PROTOCOLS = ("per-channel", "global-min")
 
 
 class ShardRunError(RuntimeError):
@@ -61,11 +78,22 @@ class ShardRunResult:
     rounds: int = 0
     frames_relayed: int = 0
     mode: str = "inline"
+    protocol: str = "per-channel"
+    # boundary rounds actually executed, per region: under per-channel
+    # grants an idle region sits out a round entirely, so these count
+    # the per-worker synchronization cost the global `rounds` barrier
+    # count no longer measures
+    region_steps: List[int] = field(default_factory=list)
 
     @property
     def events(self) -> int:
         """Total engine events across all shards."""
         return sum(shard["events"] for shard in self.shards)
+
+    @property
+    def steps(self) -> int:
+        """Total boundary rounds executed across all regions."""
+        return sum(self.region_steps)
 
 
 class _InlineShard:
@@ -77,9 +105,12 @@ class _InlineShard:
     def handshake(self) -> Optional[float]:
         return self._shard.next_event_time()
 
-    def step(self, horizon: Optional[float],
-             frames: List[BoundaryFrame]
-             ) -> Tuple[List[BoundaryFrame], float, Optional[float]]:
+    def send_step(self, horizon: Optional[float],
+                  frames: List[BoundaryFrame]) -> None:
+        self._pending = (horizon, frames)
+
+    def recv_step(self) -> Tuple[List[BoundaryFrame], float, Optional[float]]:
+        horizon, frames = self._pending
         self._shard.inject(frames)
         out = self._shard.run_to(horizon)
         return out, self._shard.clock, self._shard.next_event_time()
@@ -95,22 +126,24 @@ class _InlineShard:
         pass
 
 
-def _shard_worker(conn, region, workload, seed) -> None:
+def _shard_worker(conn, region, workload, seed, transport_name) -> None:
     """Worker-process loop: build once, then step on command.
 
     Module-level so ``spawn`` can import it by reference; everything it
-    receives is pure data.
+    receives is pure data.  Frame batches arrive and leave through the
+    named :class:`~repro.shard.framing.FrameTransport`.
     """
     try:
+        transport = TRANSPORTS[transport_name]
         shard = ShardEngine(region, workload, seed=seed)
         conn.send(("ready", shard.next_event_time()))
         while True:
             message = conn.recv()
             if message[0] == "step":
-                _kind, horizon, frames = message
-                shard.inject(frames)
+                _kind, horizon, payload = message
+                shard.inject(transport.loads(payload))
                 out = shard.run_to(horizon)
-                conn.send(("stepped", out, shard.clock,
+                conn.send(("stepped", transport.dumps(out), shard.clock,
                            shard.next_event_time()))
             elif message[0] == "finish":
                 _kind, want_rows, want_traces = message
@@ -134,12 +167,15 @@ def _shard_worker(conn, region, workload, seed) -> None:
 class _ProcessShard:
     """A region engine in a dedicated persistent worker process."""
 
-    def __init__(self, context, region, workload, seed) -> None:
+    def __init__(self, context, region, workload, seed,
+                 transport: FrameTransport) -> None:
         self.region = region.region
+        self._transport = transport
         parent_conn, child_conn = context.Pipe()
         self._conn = parent_conn
         self._proc = context.Process(
-            target=_shard_worker, args=(child_conn, region, workload, seed),
+            target=_shard_worker,
+            args=(child_conn, region, workload, seed, transport.name),
             name=f"shard-{region.region}", daemon=True)
         self._proc.start()
         child_conn.close()
@@ -163,11 +199,11 @@ class _ProcessShard:
 
     def send_step(self, horizon: Optional[float],
                   frames: List[BoundaryFrame]) -> None:
-        self._conn.send(("step", horizon, frames))
+        self._conn.send(("step", horizon, self._transport.dumps(frames)))
 
     def recv_step(self) -> Tuple[List[BoundaryFrame], float, Optional[float]]:
-        out, clock, nxt = self._recv("stepped")
-        return out, clock, nxt
+        payload, clock, nxt = self._recv("stepped")
+        return self._transport.loads(payload), clock, nxt
 
     def finish(self, want_rows: bool, want_traces: bool):
         self._conn.send(("finish", want_rows, want_traces))
@@ -194,22 +230,41 @@ class ShardCoordinator:
         or ``"auto"`` — process when there is real parallelism to win
         and spawning children is possible, inline otherwise (single
         region, or running inside a daemonic pool worker).
+    protocol:
+        ``"per-channel"`` (fixpoint grants + quiet-cut batching, the
+        default) or ``"global-min"`` (the PR-5 floor+lookahead rule,
+        kept as the measured regression baseline).
     start_method:
         ``multiprocessing`` start method for process mode; defaults to
         ``REPRO_START_METHOD`` (the sweeps knob), then the platform
         default.
+    transport:
+        Frame-batch transport name (:data:`repro.shard.framing.TRANSPORTS`);
+        ``"packed"`` — one flat byte buffer per round per direction —
+        for worker processes.  Inline rounds always hand frame lists
+        over directly (there is no pipe to pack for).
     """
 
     def __init__(self, plan: RegionPlan, workload: Dict[str, Any],
                  seed: int = 0, mode: str = "auto",
+                 protocol: str = "per-channel",
                  start_method: Optional[str] = None,
+                 transport: str = "packed",
                  max_rounds: int = 1_000_000) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; known: "
                              f"{', '.join(MODES)}")
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}; known: "
+                             f"{', '.join(PROTOCOLS)}")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; known: "
+                             f"{', '.join(TRANSPORTS)}")
         self.plan = plan
         self.workload = workload
         self.seed = seed
+        self.protocol = protocol
+        self.transport = TRANSPORTS[transport]
         self.max_rounds = max_rounds
         self.start_method = (start_method
                              or os.environ.get(START_METHOD_ENV) or None)
@@ -254,7 +309,8 @@ class ShardCoordinator:
             return [_InlineShard(region, self.workload, self.seed)
                     for region in self.plan.regions]
         context = multiprocessing.get_context(self.start_method)
-        return [_ProcessShard(context, region, self.workload, self.seed)
+        return [_ProcessShard(context, region, self.workload, self.seed,
+                              self.transport)
                 for region in self.plan.regions]
 
     def _run_rounds(self, proxies, until, collect_rows,
@@ -264,64 +320,127 @@ class ShardCoordinator:
         nexts: List[Optional[float]] = [p.handshake() for p in proxies]
         clocks = [0.0] * count
         inboxes: List[List[BoundaryFrame]] = [[] for _ in range(count)]
+        region_steps = [0] * count
         rounds = 0
         frames_relayed = 0
+        per_channel = self.protocol == "per-channel"
         while True:
-            activity = [t for t in nexts if t is not None]
-            activity.extend(frame[0] for inbox in inboxes for frame in inbox)
-            if not activity:
+            ents = []
+            for index in range(count):
+                ent = nexts[index] if nexts[index] is not None else math.inf
+                for frame in inboxes[index]:
+                    if frame[0] < ent:
+                        ent = frame[0]
+                ents.append(ent)
+            floor = min(ents, default=math.inf)
+            if math.isinf(floor):
                 break
-            floor = min(activity)
             if until is not None and floor > until:
                 break
             rounds += 1
             if rounds > self.max_rounds:
-                raise ShardRunError(
-                    f"no convergence after {self.max_rounds} rounds "
-                    f"(floor={floor!r})")
-            horizons = []
-            for region in plan.regions:
-                lookahead = region.lookahead
-                horizon = (None if math.isinf(lookahead)
-                           else floor + lookahead)
-                if until is not None:
-                    horizon = until if horizon is None else min(horizon,
-                                                                until)
-                horizons.append(horizon)
+                raise ShardRunError(self._livelock_report(
+                    floor, ents, clocks, nexts, inboxes))
+            if per_channel:
+                horizons = grant_horizons(ents, plan.channels, until=until)
+                working = [index for index in range(count)
+                           if not math.isinf(ents[index])
+                           and ents[index] <= horizons[index]]
+            else:
+                horizons = []
+                for region in plan.regions:
+                    lookahead = region.lookahead
+                    horizon = (math.inf if math.isinf(lookahead)
+                               else floor + lookahead)
+                    if until is not None:
+                        horizon = min(horizon, until)
+                    horizons.append(horizon)
+                working = list(range(count))
             # frames injected in arrival order (stable on emission order)
-            for inbox in inboxes:
-                inbox.sort(key=lambda frame: frame[0])
-            outputs = self._step_all(proxies, horizons, inboxes)
-            inboxes = [[] for _ in range(count)]
-            for index, (out, clock, nxt) in enumerate(outputs):
+            for index in working:
+                inboxes[index].sort(key=lambda frame: frame[0])
+            outputs = self._step_some(proxies, working, horizons, inboxes,
+                                      clocks)
+            # stepped regions consumed their inboxes at send time; clear
+            # them all *before* relaying, or a frame relayed toward a
+            # region stepped later in the same round would be wiped out
+            for index, (out, clock, nxt) in zip(working, outputs):
+                region_steps[index] += 1
                 clocks[index] = clock
                 nexts[index] = nxt
+                inboxes[index] = []
+            for index, (out, _clock, _next) in zip(working, outputs):
                 for frame in out:
                     pair = plan.boundary_regions[frame[1]]
                     dest = pair[1] if pair[0] == index else pair[0]
                     inboxes[dest].append(frame)
                     frames_relayed += 1
         if until is not None and any(clock < until for clock in clocks):
-            # advance idle engines to the cap (parity with an unsharded
-            # run(until=...), whose clock always ends at the cap);
-            # leftover frames arriving beyond the cap stay undelivered
-            # exactly as events beyond the cap stay unprocessed
-            outputs = self._step_all(proxies, [until] * count, inboxes)
+            # advance every engine to the cap (parity with an unsharded
+            # run(until=...), whose clock always ends at the cap).
+            # Leftover frames arriving beyond the cap are injected but
+            # stay undelivered, exactly as events beyond the cap stay
+            # unprocessed — and under the lookahead invariant this
+            # cap-advance can process no event at all, so it can emit
+            # no frame: every region's earliest activity already lies
+            # strictly beyond ``until`` (that is why the round loop
+            # ended).  A frame emitted here would mean a region ran
+            # past a grant, so it is a protocol violation, not a frame
+            # to relay.
+            for inbox in inboxes:
+                inbox.sort(key=lambda frame: frame[0])
+            outputs = self._step_some(proxies, list(range(count)),
+                                      [until] * count, inboxes, clocks)
             clocks = [clock for _out, clock, _next in outputs]
-        return self._merge(proxies, rounds, frames_relayed, collect_rows,
-                           collect_traces)
+            stray = [(plan.regions[index].region, len(out))
+                     for index, (out, _clock, _next) in enumerate(outputs)
+                     if out]
+            if stray:
+                raise ShardRunError(
+                    f"cap-advance to until={until!r} emitted boundary "
+                    f"frames from region(s) "
+                    f"{', '.join(f'{r} ({n} frame(s))' for r, n in stray)}: "
+                    f"the lookahead invariant guarantees no event can "
+                    f"execute past the final floor")
+        return self._merge(proxies, rounds, frames_relayed, region_steps,
+                           collect_rows, collect_traces)
 
-    def _step_all(self, proxies, horizons, inboxes):
-        if self.mode == "inline":
-            return [proxy.step(horizon, inbox)
-                    for proxy, horizon, inbox in zip(proxies, horizons,
-                                                     inboxes)]
-        for proxy, horizon, inbox in zip(proxies, horizons, inboxes):
-            proxy.send_step(horizon, inbox)
-        return [proxy.recv_step() for proxy in proxies]
+    def _livelock_report(self, floor, ents, clocks, nexts, inboxes) -> str:
+        """The max_rounds diagnosis: who is stuck, on what."""
+        lines = [f"no convergence after {self.max_rounds} rounds "
+                 f"(floor={floor!r}); per-region state:"]
+        for index, region in enumerate(self.plan.regions):
+            lines.append(
+                f"  region {region.region}: clock={clocks[index]!r} "
+                f"next_event={nexts[index]!r} ent={ents[index]!r} "
+                f"inbox={len(inboxes[index])} frame(s)"
+                + (f" (earliest arrival="
+                   f"{min(f[0] for f in inboxes[index])!r})"
+                   if inboxes[index] else ""))
+        return "\n".join(lines)
 
-    def _merge(self, proxies, rounds, frames_relayed, collect_rows,
-               collect_traces) -> ShardRunResult:
+    def _step_some(self, proxies, working, horizons, inboxes, clocks):
+        """Step the given regions concurrently and collect their
+        replies (in ``working`` order).
+
+        The horizon a region is asked to run to never trails its own
+        clock (grants are monotone, but ``max`` keeps the engine's
+        run-to-the-past failure mode structurally impossible), and
+        ``inf`` grants — regions nothing can reach — run to quiescence.
+        """
+        targets = []
+        for index in working:
+            horizon = horizons[index]
+            targets.append(None if math.isinf(horizon)
+                           else max(horizon, clocks[index]))
+        ordered = [(proxies[index], target, inboxes[index])
+                   for index, target in zip(working, targets)]
+        for proxy, target, inbox in ordered:
+            proxy.send_step(target, inbox)
+        return [proxy.recv_step() for proxy, _target, _inbox in ordered]
+
+    def _merge(self, proxies, rounds, frames_relayed, region_steps,
+               collect_rows, collect_traces) -> ShardRunResult:
         rows: List[Dict[str, Any]] = []
         node_stats: List[Dict[str, Any]] = []
         summaries: List[Dict[str, Any]] = []
@@ -339,26 +458,29 @@ class ShardCoordinator:
         return ShardRunResult(rows=rows, node_stats=node_stats,
                               shards=summaries, traces=traces,
                               rounds=rounds, frames_relayed=frames_relayed,
-                              mode=self.mode)
+                              mode=self.mode, protocol=self.protocol,
+                              region_steps=region_steps)
 
 
 def run_sharded(plan: RegionPlan, workload: Dict[str, Any], seed: int = 0,
-                mode: str = "auto", start_method: Optional[str] = None,
+                mode: str = "auto", protocol: str = "per-channel",
+                start_method: Optional[str] = None,
                 until: Optional[float] = None, collect_rows: bool = True,
                 collect_traces: bool = True) -> ShardRunResult:
     """One-call sharded execution of a plan + workload.
 
     Always deterministic (same plan + workload + seed ⇒ identical
-    per-shard traces, any mode), and every frame is delivered at the
-    exact timestamp the unsharded link would have computed.  Exact
-    *equivalence* with an unsharded run additionally requires the
-    workload to be tie-free: at an exactly shared float timestamp an
-    injected boundary frame executes after local events, where one
-    engine may have interleaved them — see the lookahead section of
-    docs/ARCHITECTURE.md.  Order-insensitive results (delivery counts,
-    reach sets) are equivalent regardless.
+    per-shard traces, any mode or protocol), and every frame is
+    delivered at the exact timestamp the unsharded link would have
+    computed.  Exact *equivalence* with an unsharded run additionally
+    requires the workload to be tie-free: at an exactly shared float
+    timestamp an injected boundary frame executes after local events,
+    where one engine may have interleaved them — see the lookahead
+    section of docs/ARCHITECTURE.md.  Order-insensitive results
+    (delivery counts, reach sets) are equivalent regardless.
     """
     coordinator = ShardCoordinator(plan, workload, seed=seed, mode=mode,
+                                   protocol=protocol,
                                    start_method=start_method)
     return coordinator.run(until=until, collect_rows=collect_rows,
                            collect_traces=collect_traces)

@@ -25,10 +25,15 @@ hold on the unsharded link, so direction indices — and everything keyed
 on end identity, like the shim layer's even/odd flow-id split — match
 the unsharded build exactly.
 
-Frames whose arrival lands exactly on a round horizon are injected after
-the round ends and execute in the next round — deterministically, since
-the receiving engine's clock never passes an injection's arrival time
-(the conservative-lookahead invariant proved in :mod:`repro.shard.plan`).
+Frames whose arrival lands exactly on a region's granted horizon are
+injected after that region's step ends and execute in its next step —
+deterministically, since the receiving engine's clock never passes an
+injection's arrival time (the per-channel grant invariant proved in
+:func:`repro.shard.plan.grant_horizons`).  Because a frame is pure wire
+data end to end, a round's whole batch also flattens losslessly into
+one byte buffer per direction (:mod:`repro.shard.framing`) for the trip
+across a worker pipe — the engine neither knows nor cares which
+transport carried the tuples back.
 """
 
 from __future__ import annotations

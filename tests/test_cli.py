@@ -59,6 +59,25 @@ class TestShardedScaleFlags:
         assert main(["e2", "--shards", "2"]) == 2
         assert "e6-scale" in capsys.readouterr().err
 
+    def test_stateful_with_one_shard_is_a_contradiction(self, capsys):
+        # --shards 1 is the unsharded reference row: there is no
+        # partition to shard the control plane over, so accepting the
+        # combination would silently run something else than asked
+        assert main(["e6-scale", "--shards", "1", "--stateful"]) == 2
+        err = capsys.readouterr().err
+        assert "--stateful" in err and "--shards 1" in err
+
+    def test_balance_with_one_shard_is_a_contradiction(self, capsys):
+        assert main(["e6-scale", "--shards", "1", "--balance"]) == 2
+        err = capsys.readouterr().err
+        assert "--balance" in err and "--shards 1" in err
+
+    def test_both_flags_with_one_shard_name_both(self, capsys):
+        assert main(["e6-scale", "--shards", "1", "--stateful",
+                     "--balance"]) == 2
+        err = capsys.readouterr().err
+        assert "--stateful/--balance" in err
+
     def test_stateful_tier_runs_and_pins_fingerprint(self, capsys,
                                                      monkeypatch):
         monkeypatch.setenv("REPRO_E6_STATEFUL_TIERS", "small")

@@ -1,0 +1,121 @@
+"""The flat-byte boundary-frame transport.
+
+A round's frames for one direction cross a worker pipe as one packed
+buffer.  The contract: a lossless, bit-exact round trip for everything
+the wire codec can produce (scalars + tagged tuples), loud rejection of
+everything it cannot, and a self-delimiting layout a shared-memory ring
+could adopt without re-framing.
+"""
+
+import math
+
+import pytest
+
+from repro.shard import (FrameFormatError, FrameTransport,
+                         PackedFrameTransport, pack_frames, unpack_frames)
+from repro.shard.framing import TRANSPORTS
+
+
+def roundtrip(frames):
+    return unpack_frames(pack_frames(frames))
+
+
+class TestRoundTrip:
+    def test_empty_batch(self):
+        assert roundtrip([]) == []
+
+    def test_scalar_payloads_and_identity_of_types(self):
+        frames = [
+            (0.001, "ab", None, 0),
+            (0.002, "ab", True, 1),
+            (0.003, "ab", False, 1),
+            (0.004, "ab", 42, 8),
+            (0.005, "ab", -1, 8),
+            (0.006, "ab", 3.14159, 8),
+            (0.007, "ab", "héllo 世界", 16),
+            (0.008, "ab", b"\x00\xffraw", 5),
+        ]
+        out = roundtrip(frames)
+        assert out == frames
+        # bool/int discrimination survives (True is not 1 on the wire)
+        assert [type(f[2]) for f in out] == [type(f[2]) for f in frames]
+
+    def test_nested_tagged_tuples(self):
+        payload = ("T", "pdu", ("T", "rib", 7, ("a", "b"), b"x"), None)
+        frames = [(0.125, "border1--core", payload, 6250)]
+        assert roundtrip(frames) == frames
+
+    def test_float_bit_exactness(self):
+        # the equivalence contract rides on these: timestamps and
+        # payload floats must survive to the last bit
+        values = [0.1 + 0.2, -0.0, 5e-324, 1.7976931348623157e308,
+                  math.pi, 6250 * 8.0 / 1e8]
+        frames = [(value, "ab", value, 0) for value in values]
+        out = roundtrip(frames)
+        for (arrival, _link, payload, _size), value in zip(out, values):
+            assert math.copysign(1.0, arrival) == math.copysign(1.0, value)
+            assert arrival == value and payload == value
+
+    def test_arbitrary_precision_ints(self):
+        big = 2 ** 200 + 17
+        frames = [(0.0, "ab", (big, -big, 2 ** 63 - 1, -(2 ** 63)), 0)]
+        assert roundtrip(frames) == frames
+
+    def test_many_frames_keep_order(self):
+        frames = [(0.001 * i, f"link{i % 3}", ("T", i), i)
+                  for i in range(100)]
+        assert roundtrip(frames) == frames
+
+
+class TestRejection:
+    def test_live_object_payload_fails_at_the_sender(self):
+        with pytest.raises(FrameFormatError, match="live"):
+            pack_frames([(0.0, "ab", ["a", "list"], 0)])
+        with pytest.raises(FrameFormatError, match="live"):
+            pack_frames([(0.0, "ab", {"a": 1}, 0)])
+
+    def test_bad_magic(self):
+        buf = bytearray(pack_frames([(0.0, "ab", None, 0)]))
+        buf[0] ^= 0xFF
+        with pytest.raises(FrameFormatError, match="magic"):
+            unpack_frames(bytes(buf))
+
+    def test_unsupported_version(self):
+        buf = bytearray(pack_frames([(0.0, "ab", None, 0)]))
+        buf[1] = 99
+        with pytest.raises(FrameFormatError, match="version"):
+            unpack_frames(bytes(buf))
+
+    def test_trailing_bytes(self):
+        buf = pack_frames([(0.0, "ab", None, 0)]) + b"junk"
+        with pytest.raises(FrameFormatError, match="trailing"):
+            unpack_frames(buf)
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameFormatError, match="truncated"):
+            unpack_frames(b"\xb7\x01")
+
+    def test_unknown_value_tag(self):
+        buf = bytearray(pack_frames([(0.0, "ab", None, 0)]))
+        buf[-1] = ord("?")   # the payload tag is the last byte
+        with pytest.raises(FrameFormatError, match="tag"):
+            unpack_frames(bytes(buf))
+
+
+class TestTransports:
+    def test_registry_names(self):
+        assert set(TRANSPORTS) == {"object", "packed"}
+        assert isinstance(TRANSPORTS["packed"], PackedFrameTransport)
+
+    def test_object_transport_is_identity(self):
+        frames = [(0.5, "ab", ("T", 1), 3)]
+        transport = FrameTransport()
+        assert transport.loads(transport.dumps(frames)) == frames
+        assert transport.dumps(frames) is frames
+
+    def test_packed_transport_round_trips_through_bytes(self):
+        frames = [(0.5, "ab", ("T", 1), 3)]
+        transport = PackedFrameTransport()
+        blob = transport.dumps(frames)
+        assert isinstance(blob, bytes)
+        assert transport.loads(blob) == frames

@@ -42,13 +42,17 @@ GOLDEN = {
 
 #: shard index -> sha256 of that shard's trace for the canned 2-region
 #: split (E6 plant at 2x3, all-nodes-announce flood, seed 0) — captured
-#: at the sharded engine's introduction (PR 4).  A mismatch means a
+#: at the per-channel grant protocol's introduction.  (The PR-4 capture
+#: differed only in the final ``clock=`` line: global-min rounds parked
+#: every engine at the last ``floor + lookahead`` horizon, while
+#: per-channel grants park each engine at its own final grant — every
+#: event, counter, and delivery row is unchanged.)  A mismatch means a
 #: change leaked into the frame-exchange protocol's observable behavior:
 #: round structure, injection order, boundary arrival arithmetic, or the
 #: flood workload itself.
 GOLDEN_SHARDS = {
-    0: "ecaa92a20b2280208633c801614d3da3c28605ef9d2d3d7219d83d8b36e874d3",
-    1: "f2e0216d33b01874bcac41cbef2c3aaf97307870eca3c7a00302ec35fc2fbdac",
+    0: "f30982bd1b0c37c5e0db79e44f92329758de1f74aa6257740c1bf62e31bc940c",
+    1: "c666a5273a6a5ce2ab5793b36fe66d294474557f1efa61bd71649dca817d6cef",
 }
 
 
