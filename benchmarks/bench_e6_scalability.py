@@ -1,13 +1,14 @@
 """E6 — §6.5: routing state and update scope, flat vs recursive (size sweep),
 plus the scale tier (wall-clock and events/sec at up to 1,021 systems).
 
-The stateful tier additionally emits ``BENCH_e6_scale.json`` (path
-overridable via ``REPRO_BENCH_JSON``): one schema'd document with
-rounds, boundary steps, frames relayed, events/sec, and wall-clock per
-tier and per round protocol, so the perf trajectory is a diffable
-artifact instead of scrollback.  The deterministic columns of the same
-rows are pinned in ``BENCH_e6_scale_reference.json`` and diffed in CI
-by ``check_e6_scale_reference.py``.
+The stateful tier additionally emits ``benchmarks/BENCH_e6_scale.json``
+(path overridable via ``REPRO_BENCH_JSON``): one schema'd document with
+rounds, boundary steps, frames relayed, events/sec, wall-clock, and
+peak memory per tier and per round protocol, so the perf trajectory is
+a diffable artifact instead of scrollback.  Both bench artifacts live
+in ``benchmarks/`` — the emitted document next to the committed
+``BENCH_e6_scale_reference.json`` that pins the deterministic columns
+of the same rows, diffed in CI by ``check_e6_scale_reference.py``.
 """
 
 import json
@@ -18,17 +19,20 @@ from repro.experiments.e6_scalability import (iter_flood_jobs, iter_jobs,
                                               iter_scale_jobs, run_scale)
 from repro.sweeps import SweepRunner
 
-BENCH_JSON_SCHEMA = "repro/bench-e6-scale/v1"
+#: v2: rows carry ``peak_mem_mb`` (process high-water RSS at row
+#: completion) alongside the v1 wall-clock fields, and the document is
+#: emitted into ``benchmarks/`` instead of the repo root.
+BENCH_JSON_SCHEMA = "repro/bench-e6-scale/v2"
 
 
 def emit_bench_json(rows):
-    """Write the schema'd stateful-tier document next to the repo root
+    """Write the schema'd stateful-tier document into ``benchmarks/``
     (or to ``REPRO_BENCH_JSON``).  ``rows`` are run_stateful_scale rows
     spanning both protocols; the boundary-step ratio between matching
     per-channel/global-min pairs is precomputed so the headline number
     is first-class, not a post-processing step."""
     path = os.environ.get("REPRO_BENCH_JSON") or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        os.path.dirname(os.path.abspath(__file__)),
         "BENCH_e6_scale.json")
     by_key = {}
     for row in rows:
@@ -69,7 +73,10 @@ SEED_FLAT_5x10_EVENTS_PER_S = 48_500
 def test_e6_scale_tier(benchmark, table_sink):
     """Scale rows: record wall-clock and events/sec so hot-path
     regressions surface in the bench JSON instead of silently rotting.
-    Set REPRO_E6_SCALE=large to include the 1,021-system tier.
+    Set REPRO_E6_SCALE=large (or xlarge) to include the 1,021-system
+    tier; the 100k-system xlarge tier itself is flood-only (the full
+    control plane does not build at that scale) and lives in
+    ``test_e6_sharded_flood_tier``.
 
     Deliberately *not* on the shared ``sweep`` fixture: these rows ARE
     wall-clock measurements, and concurrent cold-interpreter workers
@@ -78,7 +85,7 @@ def test_e6_scale_tier(benchmark, table_sink):
     when REPRO_JOBS parallelizes the rest of the bench suite."""
     run_scale("flat", 5, 10)   # warm interpreter caches off the clock
     tiers = ["small", "medium"]
-    if os.environ.get("REPRO_E6_SCALE") == "large":
+    if os.environ.get("REPRO_E6_SCALE") in ("large", "xlarge"):
         tiers.append("large")
     jobs = iter_scale_jobs(tiers)
     rows = benchmark.pedantic(lambda: SweepRunner(workers=1).run(jobs),
@@ -116,8 +123,13 @@ def test_e6_sharded_flood_tier(benchmark, table_sink):
     ``tests/test_shard.py``).
     """
     tiers = ["small", "medium"]
-    if os.environ.get("REPRO_E6_SCALE") == "large":
+    scale = os.environ.get("REPRO_E6_SCALE")
+    if scale in ("large", "xlarge"):
         tiers.append("large")
+    if scale == "xlarge":
+        # the 100k-system columnar-engine tier: sparse origins (the
+        # every-node storm is quadratic and infeasible at this size)
+        tiers.append("xlarge")
     jobs = iter_flood_jobs(tiers, shards=2)
     rows = benchmark.pedantic(lambda: SweepRunner(workers=1).run(jobs),
                               rounds=1, iterations=1)
@@ -128,9 +140,10 @@ def test_e6_sharded_flood_tier(benchmark, table_sink):
         assert sharded["deliveries"] == unsharded["deliveries"]
         assert sharded["events"] == unsharded["events"]
         assert sharded["frames_relayed"] > 0
-        # every system hears every other system's announcement
+        # every system hears every announcing origin (origins == n on
+        # the storm tiers, sparse on xlarge)
         n = unsharded["systems"]
-        assert unsharded["deliveries"] == n * (n - 1)
+        assert unsharded["deliveries"] == unsharded["origins"] * (n - 1)
 
 
 def test_e6_stateful_shard_tier(benchmark, table_sink):

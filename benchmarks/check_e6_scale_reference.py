@@ -30,10 +30,13 @@ REFERENCE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               "BENCH_e6_scale_reference.json")
 
 #: The columns a row is keyed by (inputs) and compared by (outputs).
+#: ``table_rows`` / ``lsas_received`` joined the deterministic set with
+#: bench schema v2: they pin the aggregate routing state the columnar
+#: LSDB/RIB stores reproduce, independent of the round protocol.
 KEY_FIELDS = ("config", "regions", "hosts_per_region", "shards", "sparse",
               "protocol")
 CHECK_FIELDS = ("rounds", "region_steps", "frames_relayed", "events",
-                "enrolled", "rib_sha256")
+                "enrolled", "table_rows", "lsas_received", "rib_sha256")
 
 
 def measure(reference_row):
@@ -60,11 +63,13 @@ def main(argv) -> int:
         measured = measure(reference_row)
         measured_rows.append(measured)
         label = " ".join(str(reference_row[field]) for field in KEY_FIELDS)
+        # .get: a field added to CHECK_FIELDS diffs as absent-vs-value
+        # until the reference is regenerated, instead of crashing
         diffs = [
-            f"{field}: reference {reference_row[field]!r} "
+            f"{field}: reference {reference_row.get(field)!r} "
             f"!= measured {measured[field]!r}"
             for field in CHECK_FIELDS
-            if measured[field] != reference_row[field]]
+            if measured[field] != reference_row.get(field)]
         if diffs:
             failures.append((label, diffs))
             print(f"MISMATCH  {label}")

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .addressing import AddressingPolicy, FlatAddressing
 from .auth import AllowAll, AuthPolicy, FlowAccessPolicy, NoAuth
+from .efcp import EfcpTable
 from .names import Address, ApplicationName, DifName
 from .qos import BEST_EFFORT, DEFAULT_CUBES, QosCube
 from .rmt import PATH_SELECTORS, SCHEDULERS, PathSelector, Scheduler
@@ -89,6 +90,15 @@ class DifPolicies:
         sum of admitted demands stays within this budget.  None disables
         admission control (pure best-effort sharing).
     """
+
+    __slots__ = ("addressing", "auth", "access", "qos_cubes",
+                 "efcp_overrides", "efcp_cube_overrides", "scheduler",
+                 "scheduler_kwargs", "path_selector", "keepalive_interval",
+                 "dead_factor", "spf_delay", "mgmt_timeout",
+                 "allocate_retries", "allocate_retry_delay",
+                 "lower_flow_cube", "max_members", "refresh_interval",
+                 "enroll_attempts", "flood_attempts", "flood_ack_timeout",
+                 "pace_ports", "admission_capacity_bps")
 
     def __init__(self,
                  addressing: Optional[AddressingPolicy] = None,
@@ -171,12 +181,18 @@ class Dif:
     collection of IPC processes that make up the IPC facility)").
     """
 
+    __slots__ = ("name", "policies", "rank", "_members", "efcp_table",
+                 "enrollments_accepted", "enrollments_denied")
+
     def __init__(self, name: str, policies: Optional[DifPolicies] = None,
                  rank: int = 1) -> None:
         self.name = DifName(name)
         self.policies = policies or DifPolicies()
         self.rank = rank
         self._members: Dict[Address, "Ipcp"] = {}
+        # one columnar store for every EFCP connection scalar in this
+        # facility — members allocate rows, connections are flyweight views
+        self.efcp_table = EfcpTable()
         self.enrollments_accepted = 0
         self.enrollments_denied = 0
 

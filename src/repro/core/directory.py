@@ -29,6 +29,9 @@ DIRECTORY_OBJ = "/directory/registrations"
 class DifDirectory:
     """The name→address directory replicated inside one DIF member."""
 
+    __slots__ = ("_local_addr_fn", "_flood", "_own_seq", "_local_names",
+                 "_remote", "updates_received", "updates_reflooded")
+
     def __init__(self, local_addr_fn: Callable[[], Optional[Address]],
                  flood_fn: Callable[[RiepMessage, Optional[Address]], int]) -> None:
         self._local_addr_fn = local_addr_fn
@@ -39,12 +42,6 @@ class DifDirectory:
         self._remote: Dict[Address, Tuple[int, Set[ApplicationName]]] = {}
         self.updates_received = 0
         self.updates_reflooded = 0
-
-    @property
-    def updates_refloded(self) -> int:
-        """Deprecated misspelling of :attr:`updates_reflooded` (kept so
-        old analysis notebooks keep reading the counter)."""
-        return self.updates_reflooded
 
     # ------------------------------------------------------------------
     # Local registrations
@@ -168,6 +165,8 @@ class InterDifDirectory:
     ``candidates`` is what an IPC manager consults to choose the DIF for an
     outgoing flow request.
     """
+
+    __slots__ = ("_entries",)
 
     def __init__(self) -> None:
         self._entries: Dict[ApplicationName, Set[DifName]] = {}

@@ -46,6 +46,8 @@ def run_until(network: Network, predicate: Callable[[], bool],
 class Orchestrator:
     """Sequential step runner living inside the simulation."""
 
+    __slots__ = ("_network", "_engine", "_steps", "failures", "_done")
+
     def __init__(self, network: Network) -> None:
         self._network = network
         self._engine: Engine = network.engine

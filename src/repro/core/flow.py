@@ -36,6 +36,12 @@ class Flow:
     ``_send_fn`` and ``_dealloc_fn`` when allocation completes.
     """
 
+    __slots__ = ("port_id", "local_app", "remote_app", "qos",
+                 "provider_name", "state", "nominal_bps", "_receiver",
+                 "_send_fn", "_dealloc_fn", "on_allocated", "on_failed",
+                 "on_deallocated", "failure_reason", "sdus_sent",
+                 "sdus_received", "bytes_sent", "bytes_received")
+
     def __init__(self, port_id: PortId, local_app: ApplicationName,
                  remote_app: ApplicationName, qos: QosCube,
                  provider_name: DifName) -> None:

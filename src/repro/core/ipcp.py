@@ -47,6 +47,12 @@ InboundListener = Callable[[Flow], None]
 class Ipcp:
     """One IPC process.  Create via :meth:`repro.core.system.System.create_ipcp`."""
 
+    __slots__ = ("engine", "system_name", "dif", "name", "tracer", "address",
+                 "rib", "_port_ids", "invoke_table", "rmt", "routing",
+                 "directory", "enrollment", "flow_allocator", "_local_apps",
+                 "_lower_flows", "_last_heard", "_keepalive_task",
+                 "_refresh_task")
+
     def __init__(self, engine: Engine, system_name: str, dif: Dif,
                  tracer: Optional[Tracer] = None,
                  port_ids: Optional[itertools.count] = None) -> None:

@@ -36,6 +36,8 @@ DropFn = Callable[[Pdu, str], None]      # (pdu, reason)
 class Scheduler:
     """Queue discipline for one outbound (N-1) port."""
 
+    __slots__ = ()
+
     def push(self, pdu: Pdu) -> Optional[Pdu]:
         """Enqueue; returns a displaced PDU if one had to be dropped."""
         raise NotImplementedError
@@ -50,6 +52,8 @@ class Scheduler:
 
 class FifoScheduler(Scheduler):
     """Single drop-tail FIFO — the baseline best-effort discipline."""
+
+    __slots__ = ("_queue", "_limit")
 
     def __init__(self, limit: int = 256) -> None:
         self._queue: Deque[Pdu] = deque()
@@ -74,6 +78,8 @@ class PriorityScheduler(Scheduler):
     When full, the lowest-priority resident PDU is displaced in favour of a
     higher-priority newcomer.
     """
+
+    __slots__ = ("_queues", "_limit", "_count")
 
     def __init__(self, limit: int = 256) -> None:
         self._queues: Dict[int, Deque[Pdu]] = {}
@@ -116,6 +122,9 @@ class DrrScheduler(Scheduler):
     starvation strict priority can inflict — the trade the A3 ablation
     measures.
     """
+
+    __slots__ = ("_limit", "_quantum", "_weights", "_queues", "_deficits",
+                 "_active", "_count")
 
     def __init__(self, limit: int = 256, quantum: int = 1500,
                  weights: Optional[Dict[int, float]] = None) -> None:
@@ -184,6 +193,8 @@ SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
 class PathSelector:
     """Chooses one (N-1) port among those reaching the next-hop node."""
 
+    __slots__ = ()
+
     def select(self, ports: List["RmtPort"], pdu: Pdu) -> Optional["RmtPort"]:
         """The port to use, or None when none is usable."""
         raise NotImplementedError
@@ -191,6 +202,8 @@ class PathSelector:
 
 class PreferFirstAlive(PathSelector):
     """Deterministic primary/backup: first port marked alive wins."""
+
+    __slots__ = ()
 
     def select(self, ports: List["RmtPort"], pdu: Pdu) -> Optional["RmtPort"]:
         for port in ports:
@@ -201,6 +214,8 @@ class PreferFirstAlive(PathSelector):
 
 class RoundRobinPaths(PathSelector):
     """Spread PDUs across all alive ports in rotation."""
+
+    __slots__ = ("_index",)
 
     def __init__(self) -> None:
         self._index = 0
@@ -217,6 +232,8 @@ class RoundRobinPaths(PathSelector):
 class HashedPaths(PathSelector):
     """Pin each connection to one path (hash of the CEP pair), keeping
     per-flow ordering while balancing flows across paths."""
+
+    __slots__ = ()
 
     def select(self, ports: List["RmtPort"], pdu: Pdu) -> Optional["RmtPort"]:
         alive = [p for p in ports if p.alive]
@@ -240,6 +257,10 @@ PATH_SELECTORS: Dict[str, Callable[[], PathSelector]] = {
 class RmtPort:
     """An (N-1) flow as seen by the RMT: a send function, a scheduler, and a
     liveness flag maintained by neighbor monitoring."""
+
+    __slots__ = ("port_id", "send_fn", "scheduler", "nominal_bps",
+                 "peer_addr", "alive", "busy", "pdus_out", "pdus_dropped",
+                 "bytes_out")
 
     def __init__(self, port_id: int, send_fn: Callable[[Any, int], bool],
                  scheduler: Scheduler, nominal_bps: Optional[float] = None,
@@ -266,6 +287,11 @@ class RmtPort:
 
 class Rmt:
     """The relaying-and-multiplexing task of one IPC process."""
+
+    __slots__ = ("_engine", "_local_addr_fn", "_deliver_local",
+                 "_scheduler_factory", "_path_selector", "_on_drop",
+                 "_forwarding", "_ports", "_neighbor_ports", "pdus_relayed",
+                 "pdus_delivered", "pdus_dropped")
 
     def __init__(self, engine: Engine, local_addr_fn: Callable[[], Optional[Address]],
                  deliver_local: DeliverFn,

@@ -24,6 +24,7 @@ routing update when one access link flaps.
 
 from __future__ import annotations
 
+import resource
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -41,6 +42,31 @@ SCALE_SIZES: Dict[str, Tuple[int, int]] = {
     "medium": (10, 20),    # 211 systems
     "large": (20, 50),     # 1,021 systems
 }
+
+#: Flood-only tier sizes: the frame-level flooding data path carries no
+#: per-member control plane, so it reaches plants the full stack cannot.
+#: ``xlarge`` is the columnar-engine acceptance tier — 100,001 systems
+#: (500 regions x 199 hosts, plus borders and the core), built and
+#: flooded in one process.
+FLOOD_SIZES: Dict[str, Tuple[int, int]] = dict(SCALE_SIZES,
+                                               xlarge=(500, 199))
+
+#: Announcement origins per flood tier.  ``None`` (the default) means
+#: every node announces — the initial-LSA storm, quadratic in plant
+#: size and infeasible at 100k systems (10^10 deliveries).  The xlarge
+#: tier instead floods from a sparse, evenly spread set of origins: the
+#: steady-state re-origination trickle of a built plant, linear per
+#: origin, still touching every link and every boundary.
+FLOOD_TIER_ORIGINS: Dict[str, Optional[int]] = {"xlarge": 8}
+
+
+def _peak_mem_mb() -> float:
+    """Process peak-RSS high-water mark in MB (``ru_maxrss`` is KB on
+    Linux).  Monotonic over a process lifetime — a scale row records
+    the high-water mark *as of that row*, which for the ascending tier
+    order means the largest plant's row carries its own peak."""
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+                 1)
 
 
 def _region_names(region: int, hosts: int) -> Tuple[str, List[str]]:
@@ -286,6 +312,7 @@ def run_scale(config: str, regions: int, hosts_per_region: int,
         "wall_s": round(wall, 2),
         "events": events,
         "events_per_s": int(events / wall) if wall > 0 else 0,
+        "peak_mem_mb": _peak_mem_mb(),
     }
 
 
@@ -611,6 +638,7 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
         "wall_s": round(wall, 2),
         "events": events,
         "events_per_s": int(events / wall) if wall > 0 else 0,
+        "peak_mem_mb": _peak_mem_mb(),
     })
     return row
 
@@ -656,7 +684,8 @@ def stateful_trace_digests(regions: int, hosts_per_region: int,
 
 def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
                     seed: int = 1, mode: str = "auto",
-                    balance: bool = False) -> Dict[str, Any]:
+                    balance: bool = False,
+                    origins: Optional[int] = None) -> Dict[str, Any]:
     """One sharded-tier row: the flat configuration's flooding fan-out
     (every system originates one LSA-style announcement, flooded to all
     n systems) at frame level, partitioned over ``shards`` region
@@ -668,11 +697,18 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
     single-engine reference row; delivery counts are invariant across
     shard counts (and the 2-shard split is pinned delivery-row-identical
     to the unsharded run in ``tests/test_shard.py``).
+
+    ``origins`` switches the workload from the quadratic every-node
+    storm to :func:`repro.shard.sparse_announce` with that many evenly
+    spread origins — the 100k-system tier's regime (see
+    :data:`FLOOD_TIER_ORIGINS`).  Deliveries are then
+    ``origins * (n - 1)`` instead of ``n * (n - 1)``.
     """
     from ..shard import (RegionPlan, all_nodes_announce, run_sharded,
-                         run_unsharded)
+                         run_unsharded, sparse_announce)
     spec = build_flood_spec(regions, hosts_per_region)
-    workload = all_nodes_announce(spec.nodes)
+    workload = (all_nodes_announce(spec.nodes) if origins is None
+                else sparse_announce(spec.nodes, origins))
     n = 1 + regions * (1 + hosts_per_region)
     started = time.perf_counter()
     if shards <= 1:
@@ -685,6 +721,7 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
             "systems": n,
             "regions": regions,
             "shards": 1,
+            "origins": origins if origins is not None else n,
             "deliveries": reference["deliveries"],
             "duplicates": reference["duplicates"],
             "rounds": 1,
@@ -704,6 +741,7 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
             "systems": n,
             "regions": regions,
             "shards": len(plan.regions),
+            "origins": origins if origins is not None else n,
             "deliveries": sum(s["deliveries"] for s in result.shards),
             "duplicates": sum(s["duplicates"] for s in result.shards),
             "rounds": result.rounds,
@@ -714,6 +752,7 @@ def run_flood_scale(regions: int, hosts_per_region: int, shards: int = 1,
         "wall_s": round(wall, 2),
         "events": events,
         "events_per_s": int(events / wall) if wall > 0 else 0,
+        "peak_mem_mb": _peak_mem_mb(),
     })
     return row
 
@@ -745,19 +784,61 @@ def iter_flood_jobs(tiers: List[str] = ("small", "medium", "large"),
     coordinator falls back to in-process rounds)."""
     jobs = []
     for tier in tiers:
-        if tier not in SCALE_SIZES:
-            raise ValueError(f"unknown scale tier {tier!r}; "
-                             f"known: {', '.join(SCALE_SIZES)}")
-        regions, hosts = SCALE_SIZES[tier]
+        if tier not in FLOOD_SIZES:
+            raise ValueError(f"unknown flood tier {tier!r}; "
+                             f"known: {', '.join(FLOOD_SIZES)}")
+        regions, hosts = FLOOD_SIZES[tier]
+        origins = FLOOD_TIER_ORIGINS.get(tier)
         # dict.fromkeys: --shards 1 means one reference row, not two
         for count in dict.fromkeys((1, shards)):
             jobs.append(Job(
                 "repro.experiments.e6_scalability:run_flood_scale",
                 kwargs={"regions": regions, "hosts_per_region": hosts,
-                        "shards": count, "seed": seed, "balance": balance},
+                        "shards": count, "seed": seed, "balance": balance,
+                        "origins": origins},
                 group="e6-shard",
                 label=f"e6-shard flat-flood {tier} x{count}"))
     return jobs
+
+
+def flood_build_smoke(tier: str = "xlarge", seed: int = 1) -> Dict[str, Any]:
+    """Build one flood tier's plant and run its *first* announcement to
+    complete flooding — the CI smoke for the 100k-system tier.
+
+    A full xlarge flood (8 origins x 100k deliveries each) is a
+    minutes-scale bench run; CI only needs to prove the columnar engine
+    *builds* a 100k-system plant in bounded memory and pushes one flood
+    wave through it.  A single announcement fully floods the
+    star-of-stars in ~6 ms simulated (host->border->core->border->host
+    propagation plus serialization), so one origin run ``until`` 10 ms
+    is exactly the first flood round: every other system hears it.
+    """
+    from ..shard import attach_flood, sparse_announce
+    if tier not in FLOOD_SIZES:
+        raise ValueError(f"unknown flood tier {tier!r}; "
+                         f"known: {', '.join(FLOOD_SIZES)}")
+    regions, hosts = FLOOD_SIZES[tier]
+    spec = build_flood_spec(regions, hosts)
+    workload = sparse_announce(spec.nodes, 1)
+    started = time.perf_counter()
+    network = spec.build(seed=seed)
+    floods = attach_flood(network, workload)
+    build_wall = time.perf_counter() - started
+    network.run(until=0.010)
+    wall = time.perf_counter() - started
+    n = len(spec.nodes)
+    deliveries = sum(len(f.deliveries) for f in floods.values())
+    return {
+        "tier": tier,
+        "systems": n,
+        "links": len(spec.links),
+        "origins": 1,
+        "first_wave_deliveries": deliveries,
+        "events": network.engine.events_processed,
+        "build_s": round(build_wall, 2),
+        "wall_s": round(wall, 2),
+        "peak_mem_mb": _peak_mem_mb(),
+    }
 
 
 def verify_end_to_end(regions: int = 3, hosts_per_region: int = 4,

@@ -18,7 +18,8 @@ from .coordinator import (ShardCoordinator, ShardRunError, ShardRunResult,
 from .engine import (BoundaryFrame, BoundaryHalf, ShardEngine,
                      attach_workload)
 from .flood import (all_nodes_announce, attach_flood, delivery_rows,
-                    flood_workload, node_stat_rows, run_unsharded)
+                    flood_workload, node_stat_rows, run_unsharded,
+                    sparse_announce)
 from .framing import (FrameFormatError, FrameTransport, PackedFrameTransport,
                       pack_frames, unpack_frames)
 from .plan import (BoundaryPort, LinkSpec, NetworkSpec, RegionPlan,
@@ -35,6 +36,6 @@ __all__ = [
     "all_nodes_announce", "assignment_by_prefix", "attach_flood",
     "attach_workload", "delivery_rows", "flood_workload", "grant_horizons",
     "node_stat_rows", "pack_frames", "rib_fingerprint", "run_sharded",
-    "run_unsharded", "run_unsharded_stateful", "stateful_workload",
-    "unpack_frames",
+    "run_unsharded", "run_unsharded_stateful", "sparse_announce",
+    "stateful_workload", "unpack_frames",
 ]

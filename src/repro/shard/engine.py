@@ -86,6 +86,8 @@ class BoundaryHalf(Link):
     link.
     """
 
+    __slots__ = ("_outbox", "local_index")
+
     def __init__(self, engine, name: str, outbox: List[BoundaryFrame],
                  local_index: int = 0, **kwargs: Any) -> None:
         super().__init__(engine, name, **kwargs)

@@ -55,8 +55,34 @@ def all_nodes_announce(nodes: Tuple[str, ...],
         size_bytes=size_bytes)
 
 
+def sparse_announce(nodes: Tuple[str, ...], origins: int,
+                    spacing: float = DEFAULT_SPACING,
+                    size_bytes: int = DEFAULT_SIZE) -> Dict[str, Any]:
+    """``origins`` evenly spaced nodes originate one announcement each.
+
+    The 100k-system tier's workload: a full ``all_nodes_announce`` storm
+    is quadratic (every announcement traverses every link — 10^10
+    deliveries at that scale), while real plants after the initial storm
+    see a sparse trickle of re-originations.  Picking every
+    ``len(nodes)//origins``-th node keeps the origins spread across
+    regions, so every boundary link still carries traffic.
+    """
+    if origins <= 0:
+        raise ValueError(f"origins must be positive, got {origins}")
+    origins = min(origins, len(nodes))
+    stride = len(nodes) // origins
+    chosen = [nodes[i * stride] for i in range(origins)]
+    return flood_workload(
+        [(node, index * spacing) for index, node in enumerate(chosen)],
+        size_bytes=size_bytes)
+
+
 class FloodNode:
     """Per-origin sequence-numbered flooding on one node, LSA-style."""
+
+    __slots__ = ("node", "name", "_engine", "_tracer", "_seen", "_next_seq",
+                 "deliveries", "announced", "duplicates", "forwarded",
+                 "_interfaces")
 
     def __init__(self, node, tracer=None) -> None:
         self.node = node
@@ -147,6 +173,8 @@ class FloodRun:
     rows, per-node stats, summary fields, and the trace lines — all
     byte-identical to the formats pinned before workloads were
     pluggable."""
+
+    __slots__ = ("floods",)
 
     def __init__(self, floods: Dict[str, FloodNode]) -> None:
         self.floods = floods

@@ -2,9 +2,10 @@
 
 Everything in this reproduction — the IPC architecture under test and the
 TCP/IP-style baseline — runs on this engine, never on real sockets.  The
-engine keeps a simulated clock (float seconds) and a binary heap of pending
-events.  Determinism is guaranteed by breaking timestamp ties with a
-monotonically increasing sequence number, so two runs with the same seed and
+engine keeps a simulated clock (float seconds), a binary heap of distinct
+pending timestamps, and a per-timestamp batch of events.  Determinism is
+guaranteed by breaking timestamp ties with a monotonically increasing
+sequence number (batch append order), so two runs with the same seed and
 the same call order produce identical traces.
 
 Typical use::
@@ -29,8 +30,8 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Engine.call_at` / :meth:`Engine.call_later`
-    and can be cancelled.  A cancelled event stays in the heap but is skipped
-    when popped (lazy deletion), which keeps cancellation O(1).
+    and can be cancelled.  A cancelled event stays in its timestamp batch but
+    is skipped when reached (lazy deletion), which keeps cancellation O(1).
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "label",
@@ -80,15 +81,25 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        # heap entries are (time, seq, event) tuples: the heap compares
-        # them at C speed instead of calling Event.__lt__ per sift step
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Same-timestamp batching: the heap holds each *distinct* pending
+        # timestamp once; the events for a timestamp live in a list keyed
+        # by that exact float.  A burst of N simultaneous deliveries costs
+        # one heappush plus N list appends instead of N heap sifts, and
+        # within a batch append order IS seq order (the seq counter is
+        # monotonic across scheduling calls), so execution order is
+        # byte-identical to the old (time, seq) tuple heap.
+        self._heap: List[float] = []
+        self._batches: Dict[float, List[Event]] = {}
+        # consumed prefix of a partially drained batch (only the batch at
+        # the minimum timestamp can be mid-drain when run() returns early
+        # on stop()/max_events, so this holds at most one meaningful entry)
+        self._batch_pos: Dict[float, int] = {}
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._events_processed = 0
         self._max_events: Optional[int] = None
-        self._live = 0   # non-cancelled events currently in the heap
+        self._live = 0   # non-cancelled events currently queued
 
     # ------------------------------------------------------------------
     # Clock
@@ -118,18 +129,29 @@ class Engine:
         """Time of the earliest live event, or None when the queue is
         drained.
 
-        Cancelled heap heads are popped on the way (they are dead weight
-        the run loop would skip anyway), so the peek is amortized O(1).
-        Used by the shard coordinator to fast-forward synchronization
-        rounds over quiet stretches of simulated time.
+        Cancelled batch heads are skipped on the way (they are dead
+        weight the run loop would skip anyway), and fully-cancelled
+        batches are dropped, so the peek is amortized O(1).  Used by the
+        shard coordinator to fast-forward synchronization rounds over
+        quiet stretches of simulated time.
         """
         heap = self._heap
+        batches = self._batches
+        batch_pos = self._batch_pos
         while heap:
-            event = heap[0][2]
-            if not event.cancelled:
-                return event.time
+            when = heap[0]
+            batch = batches[when]
+            pos = batch_pos.pop(when, 0)
+            length = len(batch)
+            while pos < length and batch[pos].cancelled:
+                batch[pos]._expired = True
+                pos += 1
+            if pos < length:
+                if pos:
+                    batch_pos[when] = pos
+                return when
+            del batches[when]
             heapq.heappop(heap)
-            event._expired = True
         return None
 
     # ------------------------------------------------------------------
@@ -146,7 +168,12 @@ class Engine:
                 f"cannot schedule at t={when:.6f}, clock is at t={self._now:.6f}")
         event = Event(when, next(self._seq), callback, args, label=label,
                       on_cancel=self._note_cancel)
-        heapq.heappush(self._heap, (when, event.seq, event))
+        batch = self._batches.get(when)
+        if batch is None:
+            self._batches[when] = [event]
+            heapq.heappush(self._heap, when)
+        else:
+            batch.append(event)
         self._live += 1
         return event
 
@@ -162,7 +189,12 @@ class Engine:
         when = self._now + delay
         event = Event(when, next(self._seq), callback, args, label=label,
                       on_cancel=self._note_cancel)
-        heapq.heappush(self._heap, (when, event.seq, event))
+        batch = self._batches.get(when)
+        if batch is None:
+            self._batches[when] = [event]
+            heapq.heappush(self._heap, when)
+        else:
+            batch.append(event)
         self._live += 1
         return event
 
@@ -190,29 +222,51 @@ class Engine:
         self._stopped = False
         budget = max_events
         heap = self._heap
+        batches = self._batches
+        batch_pos = self._batch_pos
         heappop = heapq.heappop
         try:
             while heap:
                 if self._stopped:
                     break
-                event = heap[0][2]
-                if event.cancelled:
-                    heappop(heap)
-                    event._expired = True
-                    continue
-                if until is not None and event.time > until:
+                when = heap[0]
+                if until is not None and when > until:
                     self._now = until
                     break
-                if budget is not None and budget <= 0:
+                # drain the batch at the minimum timestamp in append (= seq)
+                # order; callbacks may append same-time events to the live
+                # list, which land after the cursor with higher seqs, so
+                # len(batch) is re-read every iteration
+                batch = batches[when]
+                pos = batch_pos.pop(when, 0)
+                interrupted = False
+                while pos < len(batch):
+                    event = batch[pos]
+                    if event.cancelled:
+                        event._expired = True
+                        pos += 1
+                        continue
+                    if budget is not None and budget <= 0:
+                        interrupted = True
+                        break
+                    pos += 1
+                    event._expired = True
+                    self._live -= 1
+                    self._now = when
+                    self._events_processed += 1
+                    if budget is not None:
+                        budget -= 1
+                    event.callback(*event.args)
+                    if self._stopped:
+                        interrupted = True
+                        break
+                if interrupted and pos < len(batch):
+                    # stop()/budget left live events at this timestamp:
+                    # remember the consumed prefix for the next run()
+                    batch_pos[when] = pos
                     break
+                del batches[when]
                 heappop(heap)
-                event._expired = True
-                self._live -= 1
-                self._now = event.time
-                self._events_processed += 1
-                if budget is not None:
-                    budget -= 1
-                event.callback(*event.args)
             else:
                 # queue drained
                 if until is not None and until > self._now:
@@ -226,7 +280,7 @@ class Engine:
         self._stopped = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Engine t={self._now:.6f} pending={len(self._heap)}>"
+        return f"<Engine t={self._now:.6f} pending={self._live}>"
 
 
 class Timer:

@@ -25,7 +25,16 @@ ReceiveCallback = Callable[[Any, int], None]
 
 
 class LossModel:
-    """Decides per-frame whether the medium corrupts/drops the frame."""
+    """Decides per-frame whether the medium corrupts/drops the frame.
+
+    ``lossless`` marks models that never drop *and never draw from the
+    RNG*: links skip the per-frame ``should_drop`` call (and never
+    materialize their lazy RNG) for such models.
+    """
+
+    __slots__ = ()
+
+    lossless = False
 
     def should_drop(self, rng: random.Random, now: float) -> bool:
         """Return True to drop the frame currently being delivered."""
@@ -35,12 +44,22 @@ class LossModel:
 class NoLoss(LossModel):
     """A perfect medium."""
 
+    __slots__ = ()
+
+    lossless = True
+
     def should_drop(self, rng: random.Random, now: float) -> bool:
         return False
 
 
+#: Shared stateless default — one instance for every lossless link.
+_NO_LOSS = NoLoss()
+
+
 class UniformLoss(LossModel):
     """Independent per-frame loss with fixed probability."""
+
+    __slots__ = ("probability",)
 
     def __init__(self, probability: float) -> None:
         if not 0.0 <= probability <= 1.0:
@@ -57,6 +76,9 @@ class GilbertElliott(LossModel):
     Parameters are per-frame transition probabilities and per-state loss
     rates.  Defaults give ~1% average loss with occasional deep fades.
     """
+
+    __slots__ = ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad",
+                 "_bad")
 
     def __init__(self, p_good_to_bad: float = 0.005, p_bad_to_good: float = 0.2,
                  loss_good: float = 0.001, loss_bad: float = 0.5) -> None:
@@ -93,6 +115,8 @@ class SignalLoss(LossModel):
     ``dead_threshold``.
     """
 
+    __slots__ = ("good_threshold", "dead_threshold", "signal")
+
     def __init__(self, signal: float = 1.0, good_threshold: float = 0.7,
                  dead_threshold: float = 0.2) -> None:
         if not dead_threshold < good_threshold:
@@ -120,6 +144,8 @@ class LinkEnd:
     A stack element registers ``on_receive(payload, size_bytes)`` and calls
     :meth:`send` to transmit toward the peer end.
     """
+
+    __slots__ = ("_link", "_index", "name", "_receiver")
 
     def __init__(self, link: "Link", index: int, name: str) -> None:
         self._link = link
@@ -178,12 +204,26 @@ class Link:
         frame is "on the wire" — and decoded at delivery, so the link
         carries exactly what a real wire could.  ``sim`` stays
         stack-agnostic: the codec is injected by the layer above.
+    rng / rng_factory:
+        The per-link PRNG feeding the loss model.  ``rng_factory`` defers
+        construction until the first frame actually needs a loss draw —
+        a lossless link never materializes its PRNG, which matters at
+        100k-link scale (a ``random.Random`` is ~2.5 KB of Mersenne
+        state).  An explicit ``rng`` wins over the factory.
     """
+
+    __slots__ = ("_engine", "name", "capacity_bps", "delay", "loss",
+                 "queue_limit", "_rng", "_rng_factory", "_tracer", "_codec",
+                 "ends", "_queues", "_busy", "_up", "_observers",
+                 "frames_sent", "frames_dropped_queue", "frames_dropped_loss",
+                 "frames_delivered", "bytes_delivered", "_tx_label",
+                 "_rx_label")
 
     def __init__(self, engine: Engine, name: str, capacity_bps: float = 1e8,
                  delay: float = 0.001, loss: Optional[LossModel] = None,
                  queue_limit: int = 256, rng: Optional[random.Random] = None,
-                 tracer: Optional[Tracer] = None, codec: Optional[Any] = None
+                 tracer: Optional[Tracer] = None, codec: Optional[Any] = None,
+                 rng_factory: Optional[Callable[[], random.Random]] = None
                  ) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bps}")
@@ -193,9 +233,10 @@ class Link:
         self.name = name
         self.capacity_bps = float(capacity_bps)
         self.delay = float(delay)
-        self.loss = loss if loss is not None else NoLoss()
+        self.loss = loss if loss is not None else _NO_LOSS
         self.queue_limit = queue_limit
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng
+        self._rng_factory = rng_factory
         self._tracer = tracer
         self._codec = codec
         self.ends: Tuple[LinkEnd, LinkEnd] = (
@@ -291,11 +332,21 @@ class Link:
         # The frame is on the wire; schedule delivery after propagation,
         # then immediately serve the next queued frame.
         if self._up:
-            if self.loss.should_drop(self._rng, self._engine.now):
-                self.frames_dropped_loss[direction] += 1
-                self._trace_count("link.drop.loss")
-            else:
+            loss = self.loss
+            if loss.lossless:
+                # fast path: no RNG draw, and the lazy PRNG never exists
                 self._schedule_delivery(direction, payload, size)
+            else:
+                rng = self._rng
+                if rng is None:
+                    factory = self._rng_factory
+                    rng = factory() if factory is not None else random.Random(0)
+                    self._rng = rng
+                if loss.should_drop(rng, self._engine.now):
+                    self.frames_dropped_loss[direction] += 1
+                    self._trace_count("link.drop.loss")
+                else:
+                    self._schedule_delivery(direction, payload, size)
         self._serve(direction)
 
     def _schedule_delivery(self, direction: int, payload: Any, size: int) -> None:
@@ -351,15 +402,20 @@ class WirelessLink(Link):
     (mobility) experiments.
     """
 
+    __slots__ = ("_signal_loss",)
+
     def __init__(self, engine: Engine, name: str, capacity_bps: float = 2e7,
                  delay: float = 0.004, signal: float = 1.0,
                  queue_limit: int = 128, rng: Optional[random.Random] = None,
                  tracer: Optional[Tracer] = None,
-                 codec: Optional[Any] = None) -> None:
+                 codec: Optional[Any] = None,
+                 rng_factory: Optional[Callable[[], random.Random]] = None
+                 ) -> None:
         self._signal_loss = SignalLoss(signal=signal)
         super().__init__(engine, name, capacity_bps=capacity_bps, delay=delay,
                          loss=self._signal_loss, queue_limit=queue_limit,
-                         rng=rng, tracer=tracer, codec=codec)
+                         rng=rng, tracer=tracer, codec=codec,
+                         rng_factory=rng_factory)
 
     @property
     def signal(self) -> float:

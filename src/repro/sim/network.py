@@ -76,15 +76,20 @@ class Network:
             name = f"{a}--{b}#{next(self._link_seq)}"
         if name in self.links:
             raise ValueError(f"duplicate link name {name!r}")
-        rng = self.streams.stream(f"link:{name}")
+        # The per-link loss PRNG is derived by name, so deferring its
+        # construction to the first loss draw changes nothing — and a
+        # lossless link never pays the ~2.5 KB Mersenne state at all.
+        def rng_factory(stream_name: str = f"link:{name}") -> "random.Random":
+            return self.streams.stream(stream_name)
         if wireless:
             link: Link = WirelessLink(self.engine, name, capacity_bps=capacity_bps,
                                       delay=delay, queue_limit=queue_limit,
-                                      rng=rng, tracer=self.tracer,
+                                      rng_factory=rng_factory, tracer=self.tracer,
                                       codec=self.codec)
         else:
             link = Link(self.engine, name, capacity_bps=capacity_bps, delay=delay,
-                        loss=loss, queue_limit=queue_limit, rng=rng,
+                        loss=loss, queue_limit=queue_limit,
+                        rng_factory=rng_factory,
                         tracer=self.tracer, codec=self.codec)
         return self.attach_link(link, a, b)
 

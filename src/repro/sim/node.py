@@ -17,6 +17,8 @@ from .link import Link, LinkEnd
 class Interface:
     """A named attachment of a node to a link."""
 
+    __slots__ = ("node", "name", "end")
+
     def __init__(self, node: "Node", name: str, end: LinkEnd) -> None:
         self.node = node
         self.name = name
@@ -38,6 +40,8 @@ class Interface:
 
 class Node:
     """A host or router chassis."""
+
+    __slots__ = ("engine", "name", "_interfaces", "_ifindex")
 
     def __init__(self, engine: Engine, name: str) -> None:
         self.engine = engine

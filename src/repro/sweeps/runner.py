@@ -27,7 +27,8 @@ START_METHOD_ENV = "REPRO_START_METHOD"
 #: Row keys that are wall-clock measurements (E6 scale rows): real and
 #: useful, but not reproducible — excluded from serial-equivalence
 #: comparisons and from any byte-identity claim about sweep output.
-WALL_CLOCK_KEYS = frozenset({"build_s", "wall_s", "events_per_s"})
+WALL_CLOCK_KEYS = frozenset({"build_s", "wall_s", "events_per_s",
+                             "peak_mem_mb"})
 
 
 def parse_worker_count(value: Any, noun: str = "worker count") -> int:

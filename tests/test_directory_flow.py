@@ -57,14 +57,15 @@ class TestDifDirectory:
         assert directory.lookup(ApplicationName("remote-svc")) == Address(2)
         assert directory.updates_reflooded == 1
 
-    def test_deprecated_refloded_alias_tracks_renamed_counter(self):
-        # the misspelled name survives as a read-only alias, the same
-        # treatment lsas_reflooded got in core/routing.py
+    def test_deprecated_refloded_alias_removed(self):
+        # the misspelled alias is gone, same treatment as lsas_refloded
+        # in core/routing.py
         directory = make_directory(Address(1))
         update = RiepMessage(M_WRITE, obj=DIRECTORY_OBJ, value={
             "origin": (2,), "seq": 1, "names": ["remote-svc"]})
         directory.handle_update(update, Address(2))
-        assert directory.updates_refloded == directory.updates_reflooded == 1
+        assert not hasattr(directory, "updates_refloded")
+        assert directory.updates_reflooded == 1
 
     def test_stale_update_ignored(self):
         directory = make_directory(Address(1))

@@ -1,0 +1,103 @@
+"""Memory-footprint regression tests for the columnar engine core.
+
+The 100k-system tier exists because per-member state became columnar
+and slotted; these tests pin that win with ``tracemalloc`` so future
+object-graph creep (an unslotted hot class re-growing ``__dict__``s, a
+per-link PRNG materialized eagerly, a dict-tree RIB) fails CI instead
+of silently shrinking the reachable plant size.
+
+Budgets are peak *traced* bytes per member on a fixed plant —
+deterministic modulo interpreter version, so they carry generous but
+regression-sized headroom: the pre-refactor layout (eager ~2.5 KB
+Mersenne state per link, instance dicts on links/nodes/ends) blows the
+build budget by itself.
+"""
+
+import tracemalloc
+
+from repro.core.efcp import EfcpConnection, EfcpPolicy, EfcpTable
+from repro.core.names import Address
+from repro.experiments.e6_scalability import build_flood_spec
+from repro.shard import all_nodes_announce, attach_flood
+from repro.sim.engine import Engine
+
+#: The fixed plant: the medium E6 flood tier (10 regions x 20 hosts).
+REGIONS, HOSTS = 10, 20
+MEMBERS = 1 + REGIONS * (1 + HOSTS)
+
+#: Peak traced bytes per member for the *built* plant (nodes, links,
+#: ends, flood state — no traffic).  Measured ~5.1 KB/member; the old
+#: layout's eager per-link PRNG alone added ~2.5 KB/member on top.
+BUILD_BUDGET = 8_000
+
+#: Peak traced bytes per member across the full every-node flood run
+#: (dominated by the per-node first-delivery rows the experiments
+#: read back).  Measured ~29.5 KB/member.
+RUN_BUDGET = 45_000
+
+#: Flyweight EFCP connections sharing one per-DIF table: peak traced
+#: bytes per connection (measured ~2.1 KB — send queue, stats, view)
+#: and columnar bytes per row (12 columns x 8 bytes, ~96 B amortized).
+CONNECTION_BUDGET = 3_500
+ROW_BUDGET = 128
+
+
+def test_flood_plant_build_stays_in_budget():
+    spec = build_flood_spec(REGIONS, HOSTS)
+    workload = all_nodes_announce(spec.nodes)
+    tracemalloc.start()
+    try:
+        network = spec.build(seed=1)
+        attach_flood(network, workload)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(spec.nodes) == MEMBERS
+    per_member = peak / MEMBERS
+    assert per_member < BUILD_BUDGET, (
+        f"built plant costs {per_member:.0f} B/member "
+        f"(budget {BUILD_BUDGET}); an engine-core class probably "
+        f"regrew an instance dict or an eager per-link allocation")
+
+
+def test_flood_run_stays_in_budget():
+    spec = build_flood_spec(REGIONS, HOSTS)
+    workload = all_nodes_announce(spec.nodes)
+    tracemalloc.start()
+    try:
+        network = spec.build(seed=1)
+        floods = attach_flood(network, workload)
+        network.run()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    # the workload actually ran: every member heard every other member
+    deliveries = sum(len(f.deliveries) for f in floods.values())
+    assert deliveries == MEMBERS * (MEMBERS - 1)
+    per_member = peak / MEMBERS
+    assert per_member < RUN_BUDGET, (
+        f"flood run peaks at {per_member:.0f} B/member "
+        f"(budget {RUN_BUDGET})")
+
+
+def test_efcp_flyweights_share_one_columnar_table():
+    engine = Engine()
+    policy = EfcpPolicy()
+    count = 1000
+    tracemalloc.start()
+    try:
+        table = EfcpTable()
+        connections = [
+            EfcpConnection(engine, Address(1), Address(2), local_cep=i,
+                           remote_cep=i + 10_000, policy=policy,
+                           output=lambda pdu: None,
+                           deliver=lambda payload, size: None,
+                           table=table)
+            for i in range(count)]
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(connections) == count
+    assert all(c._table is table for c in connections)
+    assert peak / count < CONNECTION_BUDGET
+    assert table.nbytes() / count < ROW_BUDGET

@@ -243,12 +243,12 @@ class TestSpfScheduling:
 
 
 class TestCounterRename:
-    def test_refloded_alias_tracks_reflooded(self):
+    def test_deprecated_refloded_alias_removed(self):
         engine, _bus, tasks = build_topology([(1, 2), (2, 3)])
         task = tasks[2]
         assert task.lsas_reflooded > 0
-        # the deprecated misspelling must keep reporting the same value
-        assert task.lsas_refloded == task.lsas_reflooded
+        # the deprecated misspelling is gone for good
+        assert not hasattr(task, "lsas_refloded")
 
 
 class TestIncrementalSpf:

@@ -177,9 +177,9 @@ class TestRunControl:
         assert engine.pending_count() == 1
 
     def _live_scan(self, engine):
-        # heap entries are (time, seq, event) tuples
-        return sum(1 for _t, _s, ev in engine._heap
-                   if ev.active and not ev._expired)
+        # pending events live in per-timestamp batch lists
+        return sum(1 for batch in engine._batches.values()
+                   for ev in batch if ev.active and not ev._expired)
 
     def test_pending_counter_matches_heap_scan(self):
         # the O(1) counter must agree with a full heap scan through an
