@@ -1,0 +1,73 @@
+"""CI smoke for the live-traffic gateway under open-loop load.
+
+Starts an in-process :class:`~repro.gateway.server.GatewayServer` on
+loopback and drives it with the open-loop client harness:
+
+* 1,000 concurrent logical TCP clients (the acceptance floor — each is
+  one allocated shim flow) multiplexed over 64 connections;
+* 200 UDP clients against the same server, RPC workload.
+
+Every flow must allocate, every ping must come back, no wire errors —
+open-loop, so a slow server shows up as missing replies, not a slower
+test.  The wall-clock cap lives in the CI step (``timeout``); this
+script asserts the outcomes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_gateway_load.py
+
+Exit 0 when both sessions completed cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+
+TCP_CLIENTS = 1_000
+UDP_CLIENTS = 200
+
+
+async def smoke() -> int:
+    from repro.gateway.load import run_load
+    from repro.gateway.server import GatewayServer
+
+    server = GatewayServer()
+    await server.start()
+    try:
+        rows = [
+            await run_load("127.0.0.1", server.tcp_port, transport="tcp",
+                           clients=TCP_CLIENTS, pings=3, timeout=60.0),
+            await run_load("127.0.0.1", server.udp_port, transport="udp",
+                           clients=UDP_CLIENTS, pings=3, workload="rpc",
+                           timeout=60.0),
+        ]
+    finally:
+        await server.stop()
+
+    print(json.dumps({"rows": rows, "server_stats": server.stats},
+                     indent=2))
+    failures = []
+    for row in rows:
+        tag = f"{row['transport']}/{row['workload']}"
+        if not row["complete"]:
+            failures.append(
+                f"{tag}: incomplete — {row['replies']}/{row['expected']} "
+                f"replies, {row['alloc_failures']} allocation failure(s)")
+        if row["wire_errors"]:
+            failures.append(f"{tag}: {row['wire_errors']} wire error(s)")
+    if server.stats["wire_errors"]:
+        failures.append(
+            f"server counted {server.stats['wire_errors']} wire error(s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    return asyncio.run(smoke())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -369,13 +369,17 @@ def main(argv: List[str]) -> int:
         print("usage: python -m repro <experiment> [...] | all [--jobs N]\n"
               "       python -m repro e6-scale --shards N "
               "[--stateful] [--balance]\n"
-              "       python -m repro scenarios list|run ...\n")
+              "       python -m repro scenarios list|run ...\n"
+              "       python -m repro gateway serve|load|conformance ...\n")
         for key, (title, _jobs_fn) in EXPERIMENTS.items():
             print(f"  {key}   {title}")
         print("\n(see also: pytest benchmarks/ --benchmark-only, examples/)")
         return 0
     if argv[0] == "scenarios":
         return scenarios_main(argv[1:], workers_flag=workers_flag)
+    if argv[0] == "gateway":
+        from .gateway.cli import gateway_main
+        return gateway_main(argv[1:])
     wanted = list(EXPERIMENTS) if argv == ["all"] else argv
     unknown = [key for key in wanted if key not in EXPERIMENTS]
     if unknown:

@@ -31,11 +31,15 @@ class Host:
         self.sctp = SctpStack(self.ip)
         self.dns_client: Optional[DnsClient] = None
 
-    def addr(self, ifname: str = None) -> int:
+    def addr(self, ifname: Optional[str] = None) -> int:
         """This host's (first, or named interface's) address."""
         if ifname is not None:
             return self.ip.interfaces[ifname].address
-        return next(iter(self.ip.interfaces.values())).address
+        try:
+            return next(iter(self.ip.interfaces.values())).address
+        except StopIteration:
+            raise RuntimeError(
+                f"{self.name} has no interfaces configured") from None
 
     def use_dns(self, server_ip: int) -> DnsClient:
         """Configure the stub resolver against ``server_ip``."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
+from .delimiting import Fragment
 from .names import Address, ApplicationName, DifName
 from .pdu import (CONTROL_HEADER_BYTES, DATA_HEADER_BYTES,
                   MGMT_HEADER_BYTES, ControlPdu, DataPdu, ManagementPdu)
@@ -63,6 +64,7 @@ TAG_LSA = "LSA"
 TAG_DATA_PDU = "PD"
 TAG_CONTROL_PDU = "PC"
 TAG_MGMT_PDU = "PM"
+TAG_FRAGMENT = "FR"
 
 _SCALARS = (type(None), bool, int, float, str, bytes)
 
@@ -119,9 +121,15 @@ def encode(value: Any) -> Any:
     if kind is ManagementPdu:
         return (TAG_MGMT_PDU, encode(value.src_addr), encode(value.dst_addr),
                 value.ttl, value.priority, encode(value.message))
+    if kind is Fragment:
+        # app payloads the delimiting module produced — the gateway
+        # carries these inside shim data frames across real sockets
+        return (TAG_FRAGMENT, value.message_id, value.index, value.last,
+                value.data)
     raise CodecError(
         f"cannot encode {kind.__name__} for the wire: only PDUs, RIEP "
-        f"messages, LSAs, names, and JSON-like values may cross a cut")
+        f"messages, LSAs, fragments, names, and JSON-like values may "
+        f"cross a cut")
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +183,9 @@ def decode(data: Any) -> Any:
         _tag, src, dst, ttl, priority, message = data
         return ManagementPdu(decode(src), decode(dst), decode(message),
                              ttl=ttl, priority=priority)
+    if tag == TAG_FRAGMENT:
+        _tag, message_id, index, last, raw = data
+        return Fragment(message_id, index, last, raw)
     raise CodecError(f"unknown wire tag {tag!r}")
 
 

@@ -44,13 +44,24 @@ def run_until(network: Network, predicate: Callable[[], bool],
 
 
 class Orchestrator:
-    """Sequential step runner living inside the simulation."""
+    """Sequential step runner living inside the simulation.
+
+    Constructed over a :class:`Network` (the usual case) or a bare
+    :class:`Engine` — the live-traffic gateway drives an engine with no
+    network around it.  :meth:`run` (which blocks by stepping the
+    simulation itself) needs the network; :meth:`start` works on either,
+    leaving the event loop in the caller's hands.
+    """
 
     __slots__ = ("_network", "_engine", "_steps", "failures", "_done")
 
-    def __init__(self, network: Network) -> None:
-        self._network = network
-        self._engine: Engine = network.engine
+    def __init__(self, network: "Network | Engine") -> None:
+        if isinstance(network, Engine):
+            self._network: Optional[Network] = None
+            self._engine: Engine = network
+        else:
+            self._network = network
+            self._engine = network.engine
         self._steps: List[Tuple[str, Callable[[Callable[[bool, str], None]], None]]] = []
         self.failures: List[str] = []
         self._done = False
@@ -95,11 +106,13 @@ class Orchestrator:
         self.add_step(label, step)
 
     # ------------------------------------------------------------------
-    def run(self, timeout: float = 120.0, strict: bool = True) -> bool:
-        """Execute all steps inside the simulation.
+    def start(self) -> Callable[[], bool]:
+        """Begin executing the queued steps inside the engine.
 
-        Returns True when every step reported success.  With ``strict`` a
-        failed step raises :class:`FabricError` immediately.
+        Returns an is-done predicate; completed-step failures accumulate
+        in :attr:`failures`.  :meth:`run` wraps this with the blocking
+        :func:`run_until` loop — external event loops (the gateway's
+        async driver) call ``start()`` and poll the predicate themselves.
         """
         self._done = False
         self.failures = []
@@ -119,13 +132,31 @@ class Orchestrator:
             fn(done)
 
         self._engine.call_soon(run_next, 0, label="fabric.start")
-        finished = run_until(self._network, lambda: self._done, timeout=timeout)
+        return lambda: self._done
+
+    def check(self, finished: bool, strict: bool = True) -> bool:
+        """Shared post-run verdict: raise on timeout (or, with
+        ``strict``, on any step failure); else report success."""
         if not finished:
             raise FabricError(f"orchestration timed out; completed steps ok, "
                               f"failures so far: {self.failures}")
         if strict and self.failures:
             raise FabricError("; ".join(self.failures))
         return not self.failures
+
+    def run(self, timeout: float = 120.0, strict: bool = True) -> bool:
+        """Execute all steps inside the simulation.
+
+        Returns True when every step reported success.  With ``strict`` a
+        failed step raises :class:`FabricError` immediately.
+        """
+        if self._network is None:
+            raise FabricError("run() needs a Network; engine-only "
+                              "orchestrators use start() with an external "
+                              "event loop")
+        is_done = self.start()
+        finished = run_until(self._network, is_done, timeout=timeout)
+        return self.check(finished, strict=strict)
 
 
 # ----------------------------------------------------------------------

@@ -118,6 +118,34 @@ class System:
         self._providers[name] = shim
         return shim
 
+    def attach_provider(self, provider: Provider) -> None:
+        """Adopt an externally built flow provider (e.g. a live-traffic
+        socket shim) as one of this system's facilities.
+
+        Anything already registered through :meth:`register_app` is
+        re-registered on the new provider, so an application serving the
+        simulated stack serves a freshly accepted socket connection with
+        no extra wiring — the gateway's per-connection registration seam.
+        """
+        name = provider.name
+        if name in self._providers:
+            raise SystemError_(f"{self.name} already joined {name}")
+        self._providers[name] = provider
+        for app, listener in self._app_listeners.items():
+            provider.register_app(app, listener)
+
+    def detach_provider(self, dif_name: str) -> None:
+        """Forget a facility attached via :meth:`attach_provider` (e.g.
+        when its socket connection closes).  Unknown names are ignored —
+        teardown must be idempotent."""
+        self._providers.pop(DifName(dif_name), None)
+
+    @property
+    def port_id_counter(self) -> itertools.count:
+        """The system-wide port-id allocator, for externally built
+        providers that must share this system's port-id space."""
+        return self._port_ids
+
     def create_ipcp(self, dif: Dif) -> Ipcp:
         """Instantiate this system's IPC process for ``dif`` (not yet
         enrolled) and expose it as a provider for higher layers."""

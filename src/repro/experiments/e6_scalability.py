@@ -24,7 +24,7 @@ routing update when one access link flaps.
 
 from __future__ import annotations
 
-import resource
+import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -60,13 +60,25 @@ FLOOD_SIZES: Dict[str, Tuple[int, int]] = dict(SCALE_SIZES,
 FLOOD_TIER_ORIGINS: Dict[str, Optional[int]] = {"xlarge": 8}
 
 
-def _peak_mem_mb() -> float:
-    """Process peak-RSS high-water mark in MB (``ru_maxrss`` is KB on
-    Linux).  Monotonic over a process lifetime — a scale row records
-    the high-water mark *as of that row*, which for the ascending tier
-    order means the largest plant's row carries its own peak."""
-    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
-                 1)
+def _peak_mem_mb() -> Optional[float]:
+    """Process peak-RSS high-water mark in MB, or ``None`` where the
+    platform cannot report one.  Monotonic over a process lifetime — a
+    scale row records the high-water mark *as of that row*, which for
+    the ascending tier order means the largest plant's row carries its
+    own peak.
+
+    ``resource`` is imported lazily: the module does not exist off
+    POSIX, and a top-level import would take the whole experiments
+    package down with it.  ``ru_maxrss`` is kilobytes on Linux but
+    *bytes* on macOS, so the divisor follows ``sys.platform``.
+    """
+    try:
+        import resource
+    except ImportError:
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(rss / divisor, 1)
 
 
 def _region_names(region: int, hosts: int) -> Tuple[str, List[str]]:

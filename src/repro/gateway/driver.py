@@ -1,0 +1,256 @@
+"""Bridging the discrete-event engine onto an asyncio event loop.
+
+The simulated engine and an asyncio loop are both event loops; the
+difference is who owns time.  :class:`AsyncEngineDriver` supports both
+ownership contracts:
+
+* ``mode="wall"`` — wall clock owns time.  A background task maps
+  ``loop.time()`` onto the simulated clock and runs due engine events;
+  the sleep until the engine's next timer is an actual
+  ``loop.call_later`` deadline, pre-empted whenever a socket injects
+  work.  This is how :class:`~repro.gateway.server.GatewayServer`
+  serves live traffic: EFCP retransmission timers, keepalives, and
+  allocation retries fire in real seconds.
+
+* ``mode="fast"`` — causality owns time.  :meth:`run_until` drains due
+  events, yields to the loop for socket IO, and fast-forwards the
+  simulated clock to the engine's next timer **only when no frame is in
+  flight** (senders and receivers report via :meth:`io_begin` /
+  :meth:`io_end`).  Idle sim-time compresses to nothing, while a timer
+  can never fire ahead of a frame that would have cancelled it — which
+  is exactly what makes a socket run reproduce the simulated run's
+  transcript, event for event.  With ``record=True`` every clock
+  advance and injection lands in :attr:`journal`, the deterministic
+  replay transcript.
+
+All engine mutations driven by sockets must go through :meth:`inject`,
+which schedules the callback as an ordinary engine event at the current
+simulated instant — socket callbacks never touch stack state directly,
+so engine-event ordering stays the only ordering there is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..sim.engine import Engine
+
+
+class AsyncEngineDriver:
+    """One engine, one asyncio loop, one time contract."""
+
+    def __init__(self, engine: Engine, mode: str = "wall",
+                 time_scale: float = 1.0, idle_grace: float = 0.02,
+                 record: bool = False) -> None:
+        if mode not in ("wall", "fast"):
+            raise ValueError(f"unknown driver mode {mode!r}")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.engine = engine
+        self.mode = mode
+        self.time_scale = time_scale
+        self.idle_grace = idle_grace
+        #: deterministic-replay transcript: ("advance", sim_time) and
+        #: ("inject", label) entries, in execution order
+        self.journal: Optional[List[Tuple[str, Any]]] = [] if record else None
+        self.injected = 0
+        self._inflight = 0
+        self._activity = 0
+        self._wake_pending = False
+        self._waiters: List["asyncio.Future[bool]"] = []
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Socket-side entry points (called from transport callbacks)
+    # ------------------------------------------------------------------
+    def inject(self, fn: Callable[..., None], *args: Any,
+               label: str = "gw.inject") -> None:
+        """Run ``fn(*args)`` inside the engine at the current simulated
+        instant, after events already queued for it."""
+        self.engine.call_at(self.engine.now, fn, *args, label=label)
+        self.injected += 1
+        self._activity += 1
+        if self.journal is not None:
+            self.journal.append(("inject", label))
+        self._wake()
+
+    def io_begin(self) -> None:
+        """A frame left for the network; fast mode must not fast-forward
+        past timers until it lands (or the stall backstop trips)."""
+        self._inflight += 1
+
+    def io_end(self) -> None:
+        """A frame arrived off the network."""
+        self._inflight -= 1
+        self._activity += 1
+        self._wake()
+
+    @property
+    def inflight(self) -> int:
+        """Frames sent but not yet received (tracked channels only)."""
+        return self._inflight
+
+    # ------------------------------------------------------------------
+    # fast mode: causality owns time
+    # ------------------------------------------------------------------
+    async def run_until(self, predicate: Callable[[], bool],
+                        timeout: float = 30.0,
+                        horizon: Optional[float] = None) -> bool:
+        """Drive the engine until ``predicate()`` holds or ``timeout``
+        simulated seconds elapse; returns whether it held.
+
+        ``horizon`` (absolute sim time, default the deadline) bounds how
+        far a *fully idle* engine — no due events, no inflight frames,
+        no fresh injections — is allowed to jump.  :meth:`settle` uses
+        it to make "advance the clock by X" terminate even when nothing
+        is scheduled.
+        """
+        if self.mode != "fast":
+            raise RuntimeError("run_until() is a fast-mode API; wall mode "
+                               "runs via start()/stop()")
+        engine = self.engine
+        deadline = engine.now + timeout
+        if horizon is None:
+            horizon = deadline
+        idle_strikes = 0
+        stalls = 0
+        while True:
+            engine.run(until=engine.now)   # drain everything already due
+            if predicate():
+                return True
+            if engine.now >= deadline:
+                return predicate()
+            if await self._yield_io():
+                idle_strikes = 0
+                stalls = 0
+                continue
+            if self._inflight > 0 and stalls < 3:
+                # frames are on the wire: wait for them, never jump a
+                # timer over them.  The backstop bounds a leaked counter
+                # (e.g. a dropped UDP datagram) to a short wall stall.
+                if await self._wait_wake(self.idle_grace * 25):
+                    stalls = 0
+                else:
+                    stalls += 1
+                idle_strikes = 0
+                continue
+            nxt = engine.next_event_time()
+            if nxt is not None and nxt <= horizon:
+                engine.run(until=nxt)
+                if self.journal is not None:
+                    self.journal.append(("advance", nxt))
+                idle_strikes = 0
+                continue
+            # nothing due inside the horizon: give the OS one grace
+            # period to surface bytes before declaring the engine idle
+            if await self._wait_wake(self.idle_grace):
+                idle_strikes = 0
+                continue
+            idle_strikes += 1
+            if idle_strikes < 2:
+                continue
+            if horizon > engine.now:
+                engine.run(until=horizon)
+                if self.journal is not None:
+                    self.journal.append(("advance", horizon))
+            return predicate()
+
+    async def settle(self, duration: float, timeout_slack: float = 5.0) -> None:
+        """Advance the simulated clock by ``duration`` seconds, serving
+        whatever IO and timers fall inside the window."""
+        target = self.engine.now + duration
+        await self.run_until(lambda: self.engine.now >= target,
+                             timeout=duration + timeout_slack,
+                             horizon=target)
+
+    async def _yield_io(self) -> bool:
+        """Let the loop run transport callbacks; True if any injected."""
+        before = self._activity
+        for _ in range(2):
+            await asyncio.sleep(0)
+        return self._activity != before
+
+    # ------------------------------------------------------------------
+    # wall mode: wall clock owns time
+    # ------------------------------------------------------------------
+    def start(self) -> "asyncio.Task[None]":
+        """Launch the wall-clock pump task (idempotent per driver)."""
+        if self.mode != "wall":
+            raise RuntimeError("start() is a wall-mode API; fast mode "
+                               "runs via run_until()")
+        if self._task is not None and not self._task.done():
+            return self._task
+        self._stopped = False
+        self._task = asyncio.get_running_loop().create_task(
+            self._wall_loop(), name="gateway-engine")
+        return self._task
+
+    async def stop(self) -> None:
+        """Stop the wall-clock pump and wait for it to exit."""
+        self._stopped = True
+        self._wake()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def _wall_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        engine = self.engine
+        wall0 = loop.time()
+        sim0 = engine.now
+        while not self._stopped:
+            target = sim0 + (loop.time() - wall0) * self.time_scale
+            if target > engine.now:
+                engine.run(until=target)
+            else:
+                engine.run(until=engine.now)
+            nxt = engine.next_event_time()
+            if nxt is None:
+                # no timers pending: sleep until an injection wakes us
+                # (bounded, so shutdown and drift checks stay prompt)
+                await self._wait_wake(0.2)
+                continue
+            now_sim = sim0 + (loop.time() - wall0) * self.time_scale
+            delay = (nxt - now_sim) / self.time_scale
+            if delay <= 0:
+                await asyncio.sleep(0)   # due now — just yield for IO
+            else:
+                await self._wait_wake(min(delay, 0.2))
+
+    # ------------------------------------------------------------------
+    # Wakeups: a loop.call_later deadline racing socket activity
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        woke = False
+        for waiter in self._waiters:
+            if not waiter.done():
+                waiter.set_result(True)
+                woke = True
+        del self._waiters[:]
+        if not woke:
+            self._wake_pending = True
+
+    async def _wait_wake(self, timeout: float) -> bool:
+        """Sleep until woken by socket activity (True) or until the
+        ``loop.call_later`` deadline fires (False)."""
+        if self._wake_pending:
+            self._wake_pending = False
+            await asyncio.sleep(0)
+            return True
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[bool]" = loop.create_future()
+        self._waiters.append(waiter)
+        handle = loop.call_later(timeout, self._expire, waiter)
+        try:
+            return await waiter
+        finally:
+            handle.cancel()
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+
+    @staticmethod
+    def _expire(waiter: "asyncio.Future[bool]") -> None:
+        if not waiter.done():
+            waiter.set_result(False)

@@ -1,0 +1,188 @@
+"""The socket shim: a real connection presented as a shim DIF.
+
+"The IPC layers repeat until the IPC facility is tailored to the
+physical medium" (§4) — here the medium is an operating-system socket.
+:class:`SocketShim` *is* :class:`~repro.core.shim.ShimIpcp`: same frame
+kinds, same allocation handshake, same flow-id parity, same provider
+interface.  The only substitution is the link: a :class:`SocketLink`
+duck-types the simulated :class:`~repro.sim.link.Link` (two ends, a
+capacity, attach/send) over one framed byte channel, so the inherited
+shim logic cannot tell it left the simulator.
+
+Inbound bytes are decoded and shape-checked at the engine boundary; a
+malformed frame counts against :attr:`SocketLink.wire_errors` and
+closes the connection — it never raises into the asyncio loop and never
+reaches the stack above.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from ..core.names import DifName
+from ..core.shim import ShimIpcp
+from ..sim.engine import Engine
+from ..shard.framing import FrameFormatError
+from .driver import AsyncEngineDriver
+from .wire import decode_shim_frame, frame_to_wire
+
+#: Nominal capacity a socket shim reports to the stack above.  Loopback
+#: and LAN paths are far faster than the simulated links; what matters
+#: is that EFCP pacing treats the medium as effectively unconstrained.
+GATEWAY_CAPACITY_BPS = 1e9
+
+
+class SocketLinkEnd:
+    """One nominal end of a :class:`SocketLink` (LinkEnd duck type)."""
+
+    __slots__ = ("link", "index", "name", "_receiver")
+
+    def __init__(self, link: "SocketLink", index: int) -> None:
+        self.link = link
+        self.index = index
+        self.name = f"{link.name}[{index}]"
+        self._receiver: Optional[Callable[[Any, int], None]] = None
+
+    def attach(self, receiver: Callable[[Any, int], None]) -> None:
+        self._receiver = receiver
+
+    def send(self, payload: Any, size: int) -> bool:
+        return self.link.send_from(self.index, payload, size)
+
+    @property
+    def peer(self) -> "SocketLinkEnd":
+        return self.link.ends[1 - self.index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SocketLinkEnd {self.name}>"
+
+
+class SocketLink:
+    """A Link duck type whose wire is one framed byte channel.
+
+    Only the *local* end (the one this process's shim drives) is
+    functional; the far end object exists so the inherited side
+    detection (``link_end is link.ends[0]``) and flow-id parity work
+    exactly as over a simulated link.
+
+    ``tracked`` channels report each frame to the driver's inflight
+    accounting — the conformance harness runs both endpoints in one
+    process and needs fast-forward gating; a serving gateway (remote
+    peer, untracked) must not, or the counter would never drain.
+    """
+
+    __slots__ = ("name", "capacity_bps", "ends", "_local", "_channel",
+                 "_driver", "_tracked", "_on_wire_error", "wire_errors",
+                 "last_error")
+
+    def __init__(self, name: str, channel: Any, local_side: int,
+                 driver: AsyncEngineDriver,
+                 capacity_bps: float = GATEWAY_CAPACITY_BPS,
+                 tracked: bool = False,
+                 on_wire_error: Optional[Callable[[Exception], None]] = None
+                 ) -> None:
+        if local_side not in (0, 1):
+            raise ValueError(f"local_side must be 0 or 1, got {local_side!r}")
+        self.name = name
+        self.capacity_bps = capacity_bps
+        self.ends = (SocketLinkEnd(self, 0), SocketLinkEnd(self, 1))
+        self._local = self.ends[local_side]
+        self._channel = channel
+        self._driver = driver
+        self._tracked = tracked
+        self._on_wire_error = on_wire_error
+        self.wire_errors = 0
+        self.last_error: Optional[str] = None
+        channel.set_receiver(self._on_wire_bytes)
+
+    @property
+    def channel(self) -> Any:
+        return self._channel
+
+    def send_from(self, index: int, payload: Any, size: int) -> bool:
+        if self.ends[index] is not self._local:
+            raise RuntimeError(f"{self.name}: only the local end "
+                               f"[{self._local.index}] can send")
+        ok = self._channel.send(frame_to_wire(payload))
+        if ok and self._tracked:
+            self._driver.io_begin()
+        return ok
+
+    # -- loop context ---------------------------------------------------
+    def _on_wire_bytes(self, buf: bytes) -> None:
+        if self._tracked:
+            self._driver.io_end()
+        self._driver.inject(self._deliver, buf, label="gw.rx")
+
+    # -- engine context -------------------------------------------------
+    def _deliver(self, buf: bytes) -> None:
+        try:
+            frame = decode_shim_frame(buf)
+        except FrameFormatError as exc:
+            self._contain(exc)
+            return
+        receiver = self._local._receiver
+        if receiver is None:
+            return
+        try:
+            receiver(frame, len(buf))
+        except Exception as exc:   # a decodable frame the stack rejects
+            # (e.g. an alloc whose payload is not a name pair) must tear
+            # down this connection, not the event loop
+            self._contain(exc)
+
+    def _contain(self, exc: Exception) -> None:
+        self.wire_errors += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        self._channel.close()
+        if self._on_wire_error is not None:
+            self._on_wire_error(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SocketLink {self.name} errors={self.wire_errors}>"
+
+
+class SocketShim(ShimIpcp):
+    """A shim IPC process whose link end is a real socket channel."""
+
+    def __init__(self, engine: Engine, dif_name: "DifName | str",
+                 system_name: str, channel: Any, side: int,
+                 driver: AsyncEngineDriver,
+                 port_ids: Optional[itertools.count] = None,
+                 capacity_bps: float = GATEWAY_CAPACITY_BPS,
+                 tracked: bool = False,
+                 on_wire_error: Optional[Callable[[Exception], None]] = None
+                 ) -> None:
+        if not isinstance(dif_name, DifName):
+            dif_name = DifName(dif_name)
+        link = SocketLink(f"gw:{dif_name}", channel, side, driver,
+                          capacity_bps=capacity_bps, tracked=tracked,
+                          on_wire_error=on_wire_error)
+        super().__init__(engine, dif_name, system_name, link.ends[side],
+                         port_ids=port_ids)
+        self.link = link
+        self.driver = driver
+        # channel teardown (loop context) -> flow teardown (engine context)
+        channel.on_close(
+            lambda: driver.inject(self.connection_lost, label="gw.closed"))
+
+    @property
+    def wire_errors(self) -> int:
+        return self.link.wire_errors
+
+    def connection_lost(self) -> None:
+        """Fail pending and release active flows after the socket died.
+        Idempotent — close notifications can race deallocation."""
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for flow in pending:
+            flow.provider_failed("connection-lost")
+        active = list(self._flows.values())
+        self._flows.clear()
+        for flow in active:
+            flow.provider_released()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SocketShim {self.dif_name} on {self.system_name} "
+                f"flows={len(self._flows)}>")

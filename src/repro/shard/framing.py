@@ -165,6 +165,56 @@ def unpack_frames(buf: bytes) -> List[Tuple[float, str, Any, int]]:
     return frames
 
 
+#: Header byte distinguishing a *single-value* gateway frame from a
+#: frame batch (0xB7).  Both formats share the value grammar above.
+_FRAME_MAGIC = 0xB8
+
+_FRAME_HEADER = struct.Struct(">BB")
+
+
+def pack_frame(value: Any) -> bytes:
+    """One wire value as a self-contained flat buffer.
+
+    The live-traffic gateway sends exactly one shim frame per network
+    message (one UDP datagram, or one length-prefixed TCP record), so
+    it needs the value grammar without the batch header.  Live objects
+    raise :class:`FrameFormatError`, same as :func:`pack_frames` — run
+    payloads through :func:`repro.core.codec.encode` first.
+    """
+    out: List[bytes] = [_FRAME_HEADER.pack(_FRAME_MAGIC, _VERSION)]
+    _pack_value(value, out)
+    return b"".join(out)
+
+
+def unpack_frame(buf: bytes) -> Any:
+    """Decode a :func:`pack_frame` buffer back to its wire value.
+
+    Raises :class:`FrameFormatError` on a bad magic byte, an
+    unsupported version, a truncated body, or trailing bytes — never
+    anything else, so socket readers can treat any malformed input
+    uniformly (count it, close the connection).
+    """
+    if len(buf) < _FRAME_HEADER.size:
+        raise FrameFormatError("truncated frame: missing header")
+    magic, version = _FRAME_HEADER.unpack_from(buf, 0)
+    if magic != _FRAME_MAGIC:
+        raise FrameFormatError(f"bad frame magic 0x{magic:02x}")
+    if version != _VERSION:
+        raise FrameFormatError(f"unsupported frame version {version}")
+    try:
+        value, pos = _unpack_value(buf, _FRAME_HEADER.size)
+    except FrameFormatError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError, ValueError) as exc:
+        raise FrameFormatError(f"malformed frame body: {exc}") from None
+    if pos > len(buf):
+        raise FrameFormatError("truncated frame body")
+    if pos != len(buf):
+        raise FrameFormatError(
+            f"frame has {len(buf) - pos} trailing byte(s)")
+    return value
+
+
 class FrameTransport:
     """The frame-batch seam of the step protocol.
 

@@ -1,0 +1,181 @@
+"""Gateway wire layer: round trips and malformed-input fuzz.
+
+Every way a peer can hand the gateway garbage — truncated header, wrong
+magic, unknown version, trailing bytes, an oversize or impossible TCP
+length prefix, a decodable value that is not a shim frame — must
+surface as :class:`FrameFormatError`, the single failure mode the
+socket readers contain.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import encode
+from repro.core.delimiting import Fragment
+from repro.shard.framing import FrameFormatError, pack_frame, unpack_frame
+from repro.gateway.wire import (LENGTH_PREFIX, MAX_FRAME_BYTES,
+                                StreamUnframer, decode_shim_frame,
+                                frame_from_wire, frame_to_wire,
+                                stream_record)
+
+FRAMES = [
+    ("alloc", 2, ("echo-client", "echo-server"), 16),
+    ("alloc-ok", 2, None, 0),
+    ("alloc-err", 4, "no-such-app", 12),
+    ("data", 2, Fragment(7, 0, True, b"payload bytes"), 21),
+    ("dealloc", 2, None, 0),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("frame", FRAMES,
+                             ids=[frame[0] for frame in FRAMES])
+    def test_shim_frames_round_trip(self, frame):
+        kind, flow_id, payload, size = decode_shim_frame(
+            frame_to_wire(frame))
+        assert (kind, flow_id, size) == (frame[0], frame[1], frame[3])
+        if isinstance(frame[2], Fragment):
+            assert isinstance(payload, Fragment)
+            assert payload.data == frame[2].data
+            assert (payload.message_id, payload.index, payload.last) == (
+                frame[2].message_id, frame[2].index, frame[2].last)
+        else:
+            assert payload == frame[2]
+
+    def test_wire_bytes_are_canonical(self):
+        frame = FRAMES[0]
+        assert frame_to_wire(frame) == frame_to_wire(frame)
+
+    def test_fragment_codec_round_trip(self):
+        fragment = Fragment(3, 1, False, b"\x00\xffmid")
+        encoded = encode(fragment)
+        assert encoded[0] == "FR"
+        rebuilt = frame_from_wire(pack_frame(encoded))
+        assert isinstance(rebuilt, Fragment)
+        assert rebuilt.data == fragment.data
+
+    def test_live_object_payload_raises_at_sender(self):
+        with pytest.raises(TypeError):   # CodecError is a TypeError
+            frame_to_wire(("data", 2, object(), 8))
+
+
+class TestMalformedFrames:
+    def test_empty_buffer(self):
+        with pytest.raises(FrameFormatError):
+            unpack_frame(b"")
+
+    def test_one_byte_header(self):
+        with pytest.raises(FrameFormatError):
+            unpack_frame(b"\xb8")
+
+    def test_bad_magic(self):
+        buf = bytearray(frame_to_wire(FRAMES[0]))
+        buf[0] = 0xB7   # the *batch* magic — close, but not a frame
+        with pytest.raises(FrameFormatError, match="magic"):
+            frame_from_wire(bytes(buf))
+
+    def test_bad_version(self):
+        buf = bytearray(frame_to_wire(FRAMES[0]))
+        buf[1] = 99
+        with pytest.raises(FrameFormatError, match="version"):
+            frame_from_wire(bytes(buf))
+
+    def test_trailing_bytes(self):
+        with pytest.raises(FrameFormatError, match="trailing"):
+            frame_from_wire(frame_to_wire(FRAMES[0]) + b"x")
+
+    def test_truncated_body(self):
+        buf = frame_to_wire(FRAMES[0])
+        for cut in range(2, len(buf)):
+            with pytest.raises(FrameFormatError):
+                frame_from_wire(buf[:cut])
+
+    def test_unknown_value_tag(self):
+        with pytest.raises(FrameFormatError):
+            frame_from_wire(b"\xb8\x01Z")
+
+    @pytest.mark.parametrize("value", [
+        "not a tuple",
+        42,
+        ("data", 2, None),                    # wrong arity
+        ("data", 2, None, 0, "extra"),
+        (5, 2, None, 0),                      # non-str kind
+        ("data", "two", None, 0),             # non-int flow id
+        ("data", True, None, 0),              # bool is not a flow id
+        ("data", 2, None, "zero"),            # non-int size
+        ("data", 2, None, False),
+    ])
+    def test_decodable_but_not_a_shim_frame(self, value):
+        with pytest.raises(FrameFormatError, match="not a shim frame"):
+            decode_shim_frame(pack_frame(encode(value)))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_never_raise_anything_else(self, buf):
+        try:
+            decode_shim_frame(buf)
+        except FrameFormatError:
+            pass
+
+
+class TestStreamFraming:
+    def test_single_record_round_trip(self):
+        unframer = StreamUnframer()
+        payload = frame_to_wire(FRAMES[0])
+        assert unframer.feed(stream_record(payload)) == [payload]
+        assert unframer.buffered == 0
+
+    def test_byte_at_a_time(self):
+        unframer = StreamUnframer()
+        records = b"".join(stream_record(frame_to_wire(f)) for f in FRAMES)
+        out = []
+        for index in range(len(records)):
+            out.extend(unframer.feed(records[index:index + 1]))
+        assert out == [frame_to_wire(f) for f in FRAMES]
+        assert unframer.buffered == 0
+
+    def test_coalesced_records_split_apart(self):
+        unframer = StreamUnframer()
+        records = b"".join(stream_record(frame_to_wire(f)) for f in FRAMES)
+        assert unframer.feed(records) == [frame_to_wire(f) for f in FRAMES]
+
+    def test_partial_record_is_buffered(self):
+        unframer = StreamUnframer()
+        record = stream_record(frame_to_wire(FRAMES[0]))
+        assert unframer.feed(record[:-1]) == []
+        assert unframer.buffered == len(record) - 1
+        assert unframer.feed(record[-1:]) == [frame_to_wire(FRAMES[0])]
+
+    def test_oversize_length_prefix(self):
+        unframer = StreamUnframer()
+        with pytest.raises(FrameFormatError, match="oversize"):
+            unframer.feed(LENGTH_PREFIX.pack(MAX_FRAME_BYTES + 1))
+
+    def test_tiny_length_prefix(self):
+        unframer = StreamUnframer()
+        with pytest.raises(FrameFormatError, match="cannot hold"):
+            unframer.feed(LENGTH_PREFIX.pack(1))
+
+    def test_zero_length_prefix(self):
+        unframer = StreamUnframer()
+        with pytest.raises(FrameFormatError):
+            unframer.feed(LENGTH_PREFIX.pack(0))
+
+    def test_oversize_frame_rejected_at_sender(self):
+        with pytest.raises(FrameFormatError, match="exceeds"):
+            stream_record(b"x" * (MAX_FRAME_BYTES + 1))
+
+    @given(st.binary(min_size=4, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_stream_bytes_contained(self, data):
+        unframer = StreamUnframer(max_frame=1024)
+        try:
+            for buf in unframer.feed(data):
+                try:
+                    decode_shim_frame(buf)
+                except FrameFormatError:
+                    pass
+        except FrameFormatError:
+            pass
