@@ -1,31 +1,89 @@
 """S1 — scenario harness sweep: generated fault schedules on both stacks.
 
-Runs the canned ``fault-storm`` (all five injectors) plus a batch of
+Runs the canned ``fault-storm`` (all five classic injectors), the four
+network-condition families (flash-crowd, diurnal-load,
+rolling-degradation, corruption-storm), plus a batch of
 generator-sampled specs on the recursive-IPC stack and the IP baseline.
 Each (spec, stack) pair is one sweep job executing the spec **twice**
 and comparing traces — the determinism contract, now enforced for every
 cell rather than one spot check — so the sweep parallelizes under
 ``REPRO_JOBS`` like the experiment batteries.
 
+The sweep also emits ``benchmarks/BENCH_s1_scenarios.json`` (path
+overridable via ``REPRO_BENCH_JSON_S1``): one schema'd document with
+every (scenario, stack) row plus a per-scenario rina-vs-ip echo
+comparison, so the dual-stack trajectory is a diffable artifact instead
+of scrollback.
+
 ``REPRO_SCENARIO_BUDGET_S`` (seconds of *simulated* time) caps every
 scenario's duration — CI smoke-runs the sweep with a 10 s event budget.
 """
 
+import json
 import os
 
 from repro.experiments.common import format_table
-from repro.scenarios import determinism_jobs, fault_storm, generate_specs
+from repro.scenarios import CANNED, determinism_jobs, fault_storm, \
+    generate_specs
 
 SEED = 11
 BUDGET_S = float(os.environ.get("REPRO_SCENARIO_BUDGET_S", "0") or 0)
 
+#: the canned network-condition families swept alongside fault-storm
+CONDITION_FAMILIES = ("flash-crowd", "diurnal-load", "rolling-degradation",
+                      "corruption-storm")
+
+#: v1: rows are run_determinism_row cells (scenario, stack, echo,
+#: goodput, worst outage, determinism verdict, trace digest) plus the
+#: per-scenario dual-stack echo comparison.
+BENCH_JSON_SCHEMA = "repro/bench-s1-scenarios/v1"
+
 
 def _specs():
-    specs = [fault_storm()] + generate_specs(SEED, 4)
+    specs = ([fault_storm()]
+             + [CANNED[name]() for name in CONDITION_FAMILIES]
+             + generate_specs(SEED, 4))
     if BUDGET_S > 0:
         for spec in specs:
             spec.duration = min(spec.duration, BUDGET_S)
     return specs
+
+
+def emit_bench_json(rows):
+    """Write the schema'd sweep document into ``benchmarks/`` (or to
+    ``REPRO_BENCH_JSON_S1``).  ``rows`` are run_determinism_row cells
+    spanning both stacks; the per-scenario echo comparison is
+    precomputed so the dual-stack headline is first-class."""
+    path = os.environ.get("REPRO_BENCH_JSON_S1") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "BENCH_s1_scenarios.json")
+    by_key = {}
+    for row in rows:
+        by_key.setdefault(row["scenario"], {})[row["stack"]] = row
+    comparisons = []
+    for scenario, stacks in sorted(by_key.items()):
+        rina, ip = stacks.get("rina"), stacks.get("ip")
+        if rina and ip:
+            comparisons.append({
+                "scenario": scenario,
+                "rina_echo": rina["echo"],
+                "ip_echo": ip["echo"],
+                "rina_goodput_mbps": rina["goodput_mbps"],
+                "ip_goodput_mbps": ip["goodput_mbps"],
+                "deterministic": rina["deterministic"]
+                and ip["deterministic"],
+            })
+    document = {
+        "schema": BENCH_JSON_SCHEMA,
+        "seed": SEED,
+        "budget_s": BUDGET_S,
+        "rows": rows,
+        "comparisons": comparisons,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return path
 
 
 def test_s1_scenario_sweep(benchmark, table_sink, sweep):
@@ -33,7 +91,8 @@ def test_s1_scenario_sweep(benchmark, table_sink, sweep):
     jobs = determinism_jobs(specs, seed=SEED, group="s1")
 
     rows = benchmark.pedantic(lambda: sweep.run(jobs), rounds=1, iterations=1)
-    table_sink("S1: scenario harness sweep (fault-storm + generated specs)",
+    table_sink("S1: scenario harness sweep (fault-storm + condition "
+               "families + generated specs)",
                format_table(rows,
                             columns=["scenario", "stack", "faults", "echo",
                                      "goodput_mbps", "worst_outage_s",
@@ -50,7 +109,15 @@ def test_s1_scenario_sweep(benchmark, table_sink, sweep):
     # the architecture under test rides out the storm at least as well as
     # the baseline (reliable flows recover; UDP probes do not)
     by = {(r["scenario"], r["stack"]): r for r in rows}
-    storm = specs[0].name
-    rina_echo = by[(storm, "rina")]["echo"]
-    ip_echo = by[(storm, "ip")]["echo"]
-    assert int(rina_echo.split("/")[0]) >= int(ip_echo.split("/")[0])
+    for name in (specs[0].name, "corruption-storm"):
+        rina_echo = by[(name, "rina")]["echo"]
+        ip_echo = by[(name, "ip")]["echo"]
+        assert int(rina_echo.split("/")[0]) >= int(ip_echo.split("/")[0])
+
+    # the sweep is also a diffable artifact
+    path = emit_bench_json(rows)
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document["schema"] == BENCH_JSON_SCHEMA
+    assert {c["scenario"] for c in document["comparisons"]} >= \
+        set(CONDITION_FAMILIES)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..sim.engine import Engine
+from ..sim.link import CorruptedFrame
 from ..sim.network import Network
 from ..sim.node import Interface, Node
 
@@ -128,6 +129,7 @@ class IpStack:
         self.packets_forwarded = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
+        self.packets_corrupted = 0
         #: middlebox hook: packet arriving on an interface may be rewritten
         #: (return a packet) or consumed (return None).  NAT and Mobile-IP
         #: home agents — the in-network functions §6 calls kludges — attach
@@ -227,6 +229,10 @@ class IpStack:
         return ip_if.interface.end.send(packet, packet.wire_size())
 
     def _on_receive(self, packet: IpPacket, ifname: str) -> None:
+        if isinstance(packet, CorruptedFrame):
+            # link-layer FCS failure: the NIC counts and drops the frame
+            self.packets_corrupted += 1
+            return
         ip_if = self.interfaces.get(ifname)
         if ip_if is None or not ip_if.up:
             return

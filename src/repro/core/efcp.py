@@ -26,6 +26,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import Engine, Timer
+from ..sim.link import CorruptedFrame
 from .names import Address
 from .pdu import ACK, ControlPdu, DataPdu
 from .qos import QosCube
@@ -104,7 +105,7 @@ class EfcpStats:
     __slots__ = ("pdus_sent", "retransmissions", "pdus_received", "duplicates",
                  "out_of_order", "sdus_delivered", "bytes_delivered",
                  "acks_sent", "acks_received", "timeouts", "stalls",
-                 "send_rejected", "window_drops")
+                 "send_rejected", "window_drops", "corrupted")
 
     def __init__(self) -> None:
         self.pdus_sent = 0
@@ -120,6 +121,7 @@ class EfcpStats:
         self.stalls = 0
         self.send_rejected = 0
         self.window_drops = 0
+        self.corrupted = 0
 
 
 class EfcpTable:
@@ -427,6 +429,9 @@ class EfcpConnection:
         """Process an inbound DTCP PDU addressed to this connection."""
         if self.closed:
             return
+        if isinstance(pdu, CorruptedFrame):
+            self.stats.corrupted += 1
+            return
         if pdu.kind != ACK:
             return
         self.stats.acks_received += 1
@@ -504,6 +509,11 @@ class EfcpConnection:
     def handle_data(self, pdu: DataPdu) -> None:
         """Process an inbound DTP PDU addressed to this connection."""
         if self.closed:
+            return
+        if isinstance(pdu, CorruptedFrame):
+            # delimiting/SDU-protection failure: the PDU is counted and
+            # discarded, never delivered — retransmission recovers it
+            self.stats.corrupted += 1
             return
         self.stats.pdus_received += 1
         seq = pdu.seq

@@ -17,7 +17,7 @@ import itertools
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..sim.engine import Engine
-from ..sim.link import LinkEnd
+from ..sim.link import CorruptedFrame, LinkEnd
 from .flow import Flow
 from .names import ApplicationName, DifName, PortId
 from .qos import BEST_EFFORT, QosCube
@@ -59,6 +59,9 @@ class ShimIpcp:
         self.system_name = system_name
         self._end = link_end
         self._end.attach(self._on_frame)
+        #: frames the wire damaged in flight, detected and dropped here —
+        #: the shim is the DIF boundary where SDU protection would run
+        self.frames_corrupted = 0
         self._port_ids = port_ids if port_ids is not None else itertools.count(1)
         # even/odd flow-id split avoids initiator collisions
         self._side = 0 if link_end is link_end.link.ends[0] else 1
@@ -150,6 +153,12 @@ class ShimIpcp:
         self._send_frame(_KIND_DEALLOC, flow_id, None, 0)
 
     def _on_frame(self, frame: Any, frame_size: int) -> None:
+        if isinstance(frame, CorruptedFrame):
+            # integrity check fails at the DIF boundary: count and drop,
+            # never unpack — whatever rode the frame is simply lost and
+            # the layer above recovers by its own policy (EFCP resends)
+            self.frames_corrupted += 1
+            return
         kind, flow_id, payload, size = frame
         if kind == _KIND_DATA:
             flow = self._flows.get(flow_id)

@@ -19,11 +19,13 @@ instead of scripting:
   experiment stacks re-expressed declaratively.
 """
 
-from .canned import (CANNED, canned, e3_scenario, e4_scenario, e5_scenario,
-                     fault_storm, ring_of_stars)
-from .faults import (INJECTORS, CongestionBurst, FaultContext, FaultInjector,
-                     LinkDegrade, LinkFlap, NodeCrash, Partition,
-                     make_injector)
+from .canned import (CANNED, canned, corruption_storm, diurnal_load,
+                     e3_scenario, e4_scenario, e5_scenario, fault_storm,
+                     flash_crowd, ring_of_stars, rolling_degradation)
+from .faults import (INJECTORS, BandwidthSqueeze, CongestionBurst,
+                     CorruptionStorm, FaultContext, FaultInjector,
+                     JitterStorm, LinkDegrade, LinkFlap, NodeCrash,
+                     Partition, ReorderBurst, make_injector)
 from .generate import generate_scenario, generate_specs
 from .runner import (RinaStack, ScenarioRunner, build_rina_stack,
                      build_topology, canned_trace_digest, determinism_jobs,
@@ -37,11 +39,13 @@ __all__ = [
     "FaultSpec", "SpecError", "auto_layers",
     "SHIM", "TOPOLOGY_FAMILIES", "WORKLOAD_KINDS", "FAULT_KINDS",
     "FaultContext", "FaultInjector", "LinkFlap", "LinkDegrade", "NodeCrash",
-    "Partition", "CongestionBurst", "INJECTORS", "make_injector",
+    "Partition", "CongestionBurst", "JitterStorm", "BandwidthSqueeze",
+    "CorruptionStorm", "ReorderBurst", "INJECTORS", "make_injector",
     "ScenarioRunner", "RinaStack", "build_rina_stack", "build_topology",
     "run_scenario", "run_determinism_row", "canned_trace_digest",
     "determinism_jobs",
     "generate_scenario", "generate_specs",
     "CANNED", "canned", "fault_storm", "e3_scenario", "e4_scenario",
-    "e5_scenario", "ring_of_stars",
+    "e5_scenario", "ring_of_stars", "flash_crowd", "diurnal_load",
+    "rolling_degradation", "corruption_storm",
 ]

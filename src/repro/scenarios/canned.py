@@ -217,6 +217,137 @@ def ring_of_stars(regions: int = 4, hosts: int = 3) -> Scenario:
         duration=10.0)
 
 
+# ----------------------------------------------------------------------
+# Network-condition families: jitter / shaping / corruption / reordering
+# ----------------------------------------------------------------------
+def flash_crowd() -> Scenario:
+    """A flash crowd against one origin: the star's leaves open staggered
+    echo waves on the hub while a bulk pull rides along; at the peak the
+    first access link gets bandwidth-squeezed (a policer saturating) and
+    a second one turns jittery."""
+    return Scenario(
+        name="flash-crowd",
+        description="staggered echo waves on a star; access links "
+                    "squeezed + jittered at the peak",
+        topology=TopologySpec(family="star", params={"leaves": 4},
+                              link={"capacity_bps": 2e7, "delay": 0.003}),
+        dif_depth=1,
+        workloads=[WorkloadSpec(kind="echo", client=f"leaf{i}",
+                                server="hub", period=0.04, count=100,
+                                size=200, start=1.0 + 0.4 * i)
+                   for i in range(4)]
+        + [WorkloadSpec(kind="transfer", client="leaf0", server="hub",
+                        bytes=40_000, start=1.2)],
+        faults=[
+            FaultSpec(kind="bandwidth-squeeze", target="hub--leaf0",
+                      at=2.0, duration=2.5, rate_bps=2e6,
+                      burst_bytes=4000.0),
+            FaultSpec(kind="jitter-storm", target="hub--leaf1", at=2.5,
+                      duration=2.0, jitter_s=0.008, jitter_model="normal"),
+        ],
+        duration=10.0)
+
+
+def diurnal_load() -> Scenario:
+    """A diurnal utilization curve compressed into one run: off-peak,
+    ramp, midday peak, ramp-down — expressed as bandwidth-squeeze
+    windows of increasing severity on a chain's middle hop, with a
+    jitter storm riding the peak."""
+    return Scenario(
+        name="diurnal-load",
+        description="squeeze windows tracing a diurnal load curve on a "
+                    "chain backbone; jitter storm at the peak",
+        topology=TopologySpec(family="chain", params={"count": 4},
+                              link={"capacity_bps": 5e7, "delay": 0.002}),
+        dif_depth=1,
+        workloads=[
+            WorkloadSpec(kind="echo", client="n0", server="n3",
+                         period=0.05, count=150, size=200, start=1.0),
+            WorkloadSpec(kind="transfer", client="n0", server="n3",
+                         bytes=80_000, start=1.0),
+            WorkloadSpec(kind="stream", client="n3", server="n0",
+                         period=0.04, size=300, start=1.0),
+        ],
+        faults=[
+            FaultSpec(kind="bandwidth-squeeze", target="n1--n2", at=1.5,
+                      duration=1.5, rate_bps=8e6),           # morning ramp
+            FaultSpec(kind="bandwidth-squeeze", target="n1--n2", at=3.5,
+                      duration=2.0, rate_bps=2e6,
+                      burst_bytes=6000.0),                   # midday peak
+            FaultSpec(kind="jitter-storm", target="n1--n2", at=4.0,
+                      duration=1.0, jitter_s=0.004),
+            FaultSpec(kind="bandwidth-squeeze", target="n1--n2", at=6.5,
+                      duration=1.5, rate_bps=8e6),           # evening tail
+        ],
+        duration=10.0)
+
+
+def rolling_degradation() -> Scenario:
+    """Regional trouble rolling around a backbone ring: each backbone
+    link in turn degrades (loss + delay ramp) with a jitter storm on
+    top, while cross-region probes keep running — sub-threshold trouble
+    moving through the plant, never a clean outage."""
+    degrade_windows = [("s0--s1", 1.5), ("s1--s2", 3.5), ("s2--s0", 5.5)]
+    return Scenario(
+        name="rolling-degradation",
+        description="loss/delay/jitter degradation rolling across the "
+                    "backbone ring, region by region",
+        topology=TopologySpec(family="ring_of_stars",
+                              params={"regions": 3, "hosts": 2},
+                              link={"capacity_bps": 5e7, "delay": 0.002}),
+        dif_depth=1,
+        workloads=[
+            WorkloadSpec(kind="echo", client="s0_h0", server="s1_h0",
+                         period=0.05, count=140, size=200, start=1.0),
+            WorkloadSpec(kind="echo", client="s1_h1", server="s2_h1",
+                         period=0.05, count=140, size=200, start=1.0),
+            WorkloadSpec(kind="transfer", client="s0_h1", server="s2_h0",
+                         bytes=40_000, start=1.0),
+        ],
+        faults=[spec
+                for target, at in degrade_windows
+                for spec in (
+                    FaultSpec(kind="link-degrade", target=target, at=at,
+                              duration=1.5, peak_loss=0.3,
+                              delay_factor=2.0, steps=3),
+                    FaultSpec(kind="jitter-storm", target=target, at=at,
+                              duration=1.5, jitter_s=0.005),
+                )],
+        duration=9.0)
+
+
+def corruption_storm() -> Scenario:
+    """Bit errors and reordering instead of outages: two links flip
+    payload bytes for a while and a third swaps in-flight frames.  Every
+    damaged frame must be detected and counted at the receiving stack —
+    reliable flows recover by retransmission, never by delivering
+    garbage."""
+    return Scenario(
+        name="corruption-storm",
+        description="payload corruption on two grid links + a reorder "
+                    "burst on a third; echo + transfer must recover",
+        topology=TopologySpec(family="grid",
+                              params={"rows": 2, "cols": 3},
+                              link={"capacity_bps": 5e7, "delay": 0.002}),
+        dif_depth=1,
+        workloads=[
+            WorkloadSpec(kind="echo", client="g0_0", server="g1_2",
+                         period=0.05, count=140, size=200, start=1.0),
+            WorkloadSpec(kind="transfer", client="g0_0", server="g1_2",
+                         bytes=60_000, start=1.0),
+        ],
+        faults=[
+            FaultSpec(kind="corruption-storm", target="g0_0--g0_1",
+                      at=1.5, duration=2.0, corrupt_prob=0.15),
+            FaultSpec(kind="corruption-storm", target="g1_1--g1_2",
+                      at=3.0, duration=2.0, corrupt_prob=0.1,
+                      max_flips=2),
+            FaultSpec(kind="reorder-burst", target="g0_1--g0_2", at=2.0,
+                      duration=2.5, reorder_prob=0.25, reorder_depth=3),
+        ],
+        duration=10.0)
+
+
 CANNED: Dict[str, Callable[[], Scenario]] = {
     "fault-storm": fault_storm,
     "e3-scoped": lambda: e3_scenario("scoped"),
@@ -224,6 +355,10 @@ CANNED: Dict[str, Callable[[], Scenario]] = {
     "e4-multihoming": e4_scenario,
     "e5-mobility": e5_scenario,
     "ring-of-stars": ring_of_stars,
+    "flash-crowd": flash_crowd,
+    "diurnal-load": diurnal_load,
+    "rolling-degradation": rolling_degradation,
+    "corruption-storm": corruption_storm,
 }
 
 

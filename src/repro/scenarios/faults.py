@@ -3,9 +3,11 @@
 Each injector is an engine-scheduled actor: :meth:`FaultInjector.arm`
 schedules its phases on the simulation engine, and the phases drive the
 *existing* machinery — :meth:`~repro.sim.link.Link.fail`/``repair`` for
-outages, loss/delay/capacity knobs for degradation, and
-:meth:`~repro.core.ipcp.Ipcp.crash`/``restart`` plus §5.2 re-enrollment
-for node failures.  Every phase is recorded in the network tracer's event
+outages, loss/delay/capacity knobs for degradation,
+:attr:`~repro.sim.link.Link.conditions` swaps for the network-condition
+windows (jitter storm, bandwidth squeeze, corruption storm, reorder
+burst), and :meth:`~repro.core.ipcp.Ipcp.crash`/``restart`` plus §5.2
+re-enrollment for node failures.  Every phase is recorded in the network tracer's event
 log so runs can be fingerprinted byte-for-byte (determinism tests) and
 assertions can be made about the fault timeline.
 
@@ -18,7 +20,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..sim.link import Link, UniformLoss
+from ..sim.link import (BandwidthShaper, CorruptionModel, Link,
+                        LinkConditions, NormalJitter, ReorderModel,
+                        UniformJitter, UniformLoss)
 from ..sim.network import Network
 from .spec import FaultSpec, SpecError
 
@@ -370,12 +374,104 @@ class CongestionBurst(FaultInjector):
                                label="fault.relent")
 
 
+class ConditionWindow(FaultInjector):
+    """Shared shape of the four network-condition injectors.
+
+    At ``t0 + at`` the link's current :class:`LinkConditions` reference
+    is saved and a copy with this injector's slot replaced is installed;
+    at ``t0 + at + duration`` the saved reference is restored — so
+    conditions compose with whatever was configured statically, and
+    overlapping windows on *different* slots merge cleanly (same-slot
+    overlaps are last-writer-wins, like stacked ``link-degrade`` ramps).
+    ``duration=None`` leaves the condition in place for good.
+    """
+
+    slot = ""    # which LinkConditions slot this injector drives
+
+    def _model(self, spec: FaultSpec) -> Any:
+        raise NotImplementedError
+
+    def arm(self, ctx: FaultContext, t0: float) -> None:
+        spec = self.spec
+        link = ctx.resolve_link(str(spec.target))
+        saved: Dict[str, Any] = {}
+
+        def on() -> None:
+            saved["conditions"] = link.conditions
+            base = (link.conditions if link.conditions is not None
+                    else LinkConditions())
+            link.conditions = base.replace(**{self.slot: self._model(spec)})
+            self._log(ctx, "on")
+
+        def off() -> None:
+            link.conditions = saved["conditions"]
+            self._log(ctx, "off")
+
+        ctx.engine.call_at(t0 + spec.at, on, label=f"fault.{self.slot}.on")
+        if spec.duration is not None:
+            ctx.engine.call_at(t0 + spec.at + spec.duration, off,
+                               label=f"fault.{self.slot}.off")
+
+
+class JitterStorm(ConditionWindow):
+    """Delay variance on one link for a window — no loss, no carrier
+    event, just a jittery path; stresses latency-sensitive policy and
+    (with ``preserve_order=False``) EFCP sequencing."""
+
+    slot = "jitter"
+
+    def _model(self, spec: FaultSpec) -> Any:
+        if spec.jitter_model == "normal":
+            return NormalJitter(mean=spec.jitter_s,
+                                stddev=spec.jitter_s / 2.0,
+                                preserve_order=spec.preserve_order)
+        return UniformJitter(spec.jitter_s,
+                             preserve_order=spec.preserve_order)
+
+
+class BandwidthSqueeze(ConditionWindow):
+    """Token-bucket shaping caps one link's effective rate for a window —
+    the policer/flash-crowd analogue of :class:`CongestionBurst`, but
+    bursty (a bucket refills) instead of a flat serialization cut."""
+
+    slot = "shaper"
+
+    def _model(self, spec: FaultSpec) -> Any:
+        return BandwidthShaper(spec.rate_bps, spec.burst_bytes)
+
+
+class CorruptionStorm(ConditionWindow):
+    """Per-frame payload corruption on one link for a window: frames
+    still arrive, but damaged — the receiving stack's SDU protection
+    must detect and count them, never deliver them."""
+
+    slot = "corruption"
+
+    def _model(self, spec: FaultSpec) -> Any:
+        return CorruptionModel(spec.corrupt_prob, spec.max_flips)
+
+
+class ReorderBurst(ConditionWindow):
+    """Bounded-displacement reordering on one link for a window,
+    stressing EFCP's sequencing (delivery order must survive)."""
+
+    slot = "reorder"
+
+    def _model(self, spec: FaultSpec) -> Any:
+        return ReorderModel(spec.reorder_prob, spec.reorder_depth,
+                            spec.reorder_hold)
+
+
 INJECTORS: Dict[str, Callable[[FaultSpec], FaultInjector]] = {
     "link-flap": LinkFlap,
     "link-degrade": LinkDegrade,
     "node-crash": NodeCrash,
     "partition": Partition,
     "congestion": CongestionBurst,
+    "jitter-storm": JitterStorm,
+    "bandwidth-squeeze": BandwidthSqueeze,
+    "corruption-storm": CorruptionStorm,
+    "reorder-burst": ReorderBurst,
 }
 
 

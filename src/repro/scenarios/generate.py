@@ -3,8 +3,8 @@
 Turns scenario coverage from O(hand-written files) into O(combinations):
 ``generate_specs(seed, count)`` yields ``count`` independent, *valid*
 specs — topology family, DIF depth, workload mix, and fault schedule all
-sampled — with the fault kinds cycled so any batch of ≥ 5 specs exercises
-every injector.  Sampling is pure (one ``random.Random`` per spec, no
+sampled — with the fault kinds cycled so any batch of ≥ ``len(FAULT_KINDS)``
+specs exercises every injector (the network-condition windows included).  Sampling is pure (one ``random.Random`` per spec, no
 global state), so the same seed always yields the same specs: the
 determinism tests lean on this to fingerprint whole fuzz batches.
 """
@@ -20,7 +20,8 @@ from .spec import (FAULT_KINDS, FaultSpec, LinkSpec, Scenario, TopologySpec,
                    WorkloadSpec)
 
 _FAMILIES = ("chain", "star", "tree", "grid", "random", "ring_of_stars")
-_LINK_FAULTS = ("link-flap", "link-degrade", "congestion")
+_LINK_FAULTS = ("link-flap", "link-degrade", "congestion", "jitter-storm",
+                "bandwidth-squeeze", "corruption-storm", "reorder-burst")
 
 
 def _sample_topology(rng: random.Random) -> TopologySpec:
@@ -103,6 +104,26 @@ def _sample_fault(rng: random.Random, kind: str, nodes: Sequence[str],
         return FaultSpec(kind="partition", target=group, at=at,
                          duration=duration)
     target = rng.choice(list(links))
+    if kind == "jitter-storm":
+        return FaultSpec(kind="jitter-storm", target=target, at=at,
+                         duration=duration,
+                         jitter_s=rng.choice([0.002, 0.005, 0.01]),
+                         jitter_model=rng.choice(["uniform", "normal"]))
+    if kind == "bandwidth-squeeze":
+        return FaultSpec(kind="bandwidth-squeeze", target=target, at=at,
+                         duration=duration,
+                         rate_bps=rng.choice([1e6, 2e6, 5e6]),
+                         burst_bytes=rng.choice([3000.0, 8000.0]))
+    if kind == "corruption-storm":
+        return FaultSpec(kind="corruption-storm", target=target, at=at,
+                         duration=duration,
+                         corrupt_prob=round(rng.uniform(0.05, 0.25), 3),
+                         max_flips=rng.randint(1, 3))
+    if kind == "reorder-burst":
+        return FaultSpec(kind="reorder-burst", target=target, at=at,
+                         duration=duration,
+                         reorder_prob=round(rng.uniform(0.1, 0.35), 3),
+                         reorder_depth=rng.randint(2, 4))
     if kind == "link-degrade":
         return FaultSpec(kind="link-degrade", target=target, at=at,
                          duration=duration,
@@ -148,5 +169,6 @@ def generate_scenario(seed: int, index: int = 0) -> Scenario:
 
 
 def generate_specs(seed: int, count: int = 20) -> List[Scenario]:
-    """A batch of independent specs; ≥ 5 of them cover every injector."""
+    """A batch of independent specs; ≥ ``len(FAULT_KINDS)`` of them cover
+    every injector."""
     return [generate_scenario(seed, index) for index in range(count)]

@@ -27,7 +27,7 @@ from ..core.fabric import (Orchestrator, add_shims, build_dif_over,
                            make_systems, shim_between, shim_name_for)
 from ..core.qos import DEFAULT_CUBES, RELIABLE
 from ..experiments.common import delivery_gap, goodput_bps, percentile
-from ..sim.link import UniformLoss
+from ..sim.link import LinkConditions, UniformLoss
 from ..sim.network import Network
 from .faults import FaultContext, make_injector
 from .spec import (SHIM, LayerSpec, Scenario, SpecError, TopologySpec,
@@ -40,6 +40,21 @@ IP_RECONVERGE_DELAY = 0.3   # carrier change → routing daemon reconvergence
 # ----------------------------------------------------------------------
 # Topology
 # ----------------------------------------------------------------------
+def _link_conditions(jitter: Any = None, shaper: Any = None,
+                     corruption: Any = None,
+                     reorder: Any = None) -> Optional[LinkConditions]:
+    """Build a :class:`LinkConditions` from spec-form dicts (or None)."""
+    if (jitter is None and shaper is None and corruption is None
+            and reorder is None):
+        return None
+    try:
+        return LinkConditions.from_dict({"jitter": jitter, "shaper": shaper,
+                                         "corruption": corruption,
+                                         "reorder": reorder})
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"bad link conditions: {exc}")
+
+
 def build_topology(topology: TopologySpec, network: Network) -> List[str]:
     """Instantiate the topology spec into ``network``; returns node names."""
     topology.validate()
@@ -47,6 +62,12 @@ def build_topology(topology: TopologySpec, network: Network) -> List[str]:
     loss = link_kwargs.pop("loss", None)
     if loss is not None:
         link_kwargs["loss"] = UniformLoss(float(loss))
+    conditions = _link_conditions(link_kwargs.pop("jitter", None),
+                                  link_kwargs.pop("shaper", None),
+                                  link_kwargs.pop("corruption", None),
+                                  link_kwargs.pop("reorder", None))
+    if conditions is not None:
+        link_kwargs["conditions"] = conditions
     family = topology.family
     if family == "explicit":
         for name in topology.nodes:
@@ -56,7 +77,9 @@ def build_topology(topology: TopologySpec, network: Network) -> List[str]:
                 spec.a, spec.b, name=spec.name,
                 capacity_bps=spec.capacity_bps, delay=spec.delay,
                 loss=None if spec.loss is None else UniformLoss(spec.loss),
-                wireless=spec.wireless, queue_limit=spec.queue_limit)
+                wireless=spec.wireless, queue_limit=spec.queue_limit,
+                conditions=_link_conditions(spec.jitter, spec.shaper,
+                                            spec.corruption, spec.reorder))
         return list(topology.nodes)
     params = dict(topology.params)
     if family == "chain":

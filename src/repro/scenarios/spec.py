@@ -22,7 +22,8 @@ TOPOLOGY_FAMILIES = ("chain", "star", "tree", "grid", "random",
                      "ring_of_stars", "explicit")
 WORKLOAD_KINDS = ("echo", "transfer", "stream")
 FAULT_KINDS = ("link-flap", "link-degrade", "node-crash", "partition",
-               "congestion")
+               "congestion", "jitter-storm", "bandwidth-squeeze",
+               "corruption-storm", "reorder-burst")
 
 #: lower-facility reference understood by layer adjacencies:
 #: ``"shim"`` — the shim over the (first) physical link between the pair;
@@ -37,7 +38,13 @@ class SpecError(ValueError):
 
 @dataclass
 class LinkSpec:
-    """One physical link of an ``explicit`` topology."""
+    """One physical link of an ``explicit`` topology.
+
+    The four condition fields are JSON-safe model-spec dicts following
+    the :meth:`repro.sim.link.LinkConditions.from_dict` grammar (e.g.
+    ``jitter={"model": "uniform", "amplitude": 0.005}``); None leaves
+    that impairment off.
+    """
 
     a: str
     b: str
@@ -47,6 +54,10 @@ class LinkSpec:
     loss: Optional[float] = None      # None → perfect medium
     wireless: bool = False
     queue_limit: int = 256
+    jitter: Optional[Dict[str, Any]] = None
+    shaper: Optional[Dict[str, Any]] = None
+    corruption: Optional[Dict[str, Any]] = None
+    reorder: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -159,6 +170,20 @@ class FaultSpec:
     steps: int = 4
     # congestion
     capacity_factor: float = 8.0
+    # jitter-storm
+    jitter_s: float = 0.005
+    jitter_model: str = "uniform"
+    preserve_order: bool = True
+    # bandwidth-squeeze
+    rate_bps: float = 1e6
+    burst_bytes: Optional[float] = None
+    # corruption-storm
+    corrupt_prob: float = 0.1
+    max_flips: int = 3
+    # reorder-burst
+    reorder_prob: float = 0.2
+    reorder_depth: int = 3
+    reorder_hold: float = 0.05
 
     def validate(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -170,6 +195,21 @@ class FaultSpec:
         if self.kind == "partition" and not isinstance(self.target,
                                                        (list, tuple)):
             raise SpecError("partition target must be a node group")
+        if self.kind == "jitter-storm":
+            if self.jitter_s < 0:
+                raise SpecError("jitter_s must be non-negative")
+            if self.jitter_model not in ("uniform", "normal"):
+                raise SpecError(f"unknown jitter model {self.jitter_model!r}")
+        if self.kind == "bandwidth-squeeze" and self.rate_bps <= 0:
+            raise SpecError("rate_bps must be positive")
+        if self.kind == "corruption-storm" and not (
+                0.0 <= self.corrupt_prob <= 1.0):
+            raise SpecError("corrupt_prob must be in [0,1]")
+        if self.kind == "reorder-burst":
+            if not 0.0 <= self.reorder_prob <= 1.0:
+                raise SpecError("reorder_prob must be in [0,1]")
+            if self.reorder_depth < 1:
+                raise SpecError("reorder_depth must be >= 1")
 
     def label(self) -> str:
         target = ("+".join(self.target) if isinstance(self.target,

@@ -99,6 +99,13 @@ class NetworkSpec:
                 raise ShardPlanError(
                     f"link {name!r}: loss model "
                     f"{type(link.loss).__name__} is not spec-capturable")
+            if link.conditions is not None:
+                # condition models carry live strategy objects (token
+                # buckets, parked frames) with no pure-data form; a
+                # boundary half-link could not honor them anyway
+                raise ShardPlanError(
+                    f"link {name!r}: link conditions are not "
+                    f"spec-capturable")
             links.append(LinkSpec(a=a, b=b, name=name,
                                   capacity_bps=link.capacity_bps,
                                   delay=link.delay,

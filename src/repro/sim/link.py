@@ -13,10 +13,11 @@ prescribes for every component).
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from .engine import Engine
 from .trace import Tracer
@@ -138,6 +139,339 @@ class SignalLoss(LossModel):
         return rng.random() < self.loss_probability()
 
 
+# ----------------------------------------------------------------------
+# Composable link conditions: jitter, shaping, corruption, reordering.
+#
+# Like the loss models above, each condition is a strategy object; the
+# link only supplies mechanism (where in the frame path each applies)
+# and the deterministic per-purpose RNG streams.  A link with
+# ``conditions=None`` executes byte-for-byte the same event sequence it
+# always has — the golden-trace contract.
+# ----------------------------------------------------------------------
+class CorruptedFrame:
+    """What the far end receives when the medium damaged a frame in flight.
+
+    ``bytes`` payloads are damaged literally (random byte XORs), so a
+    checksum such as :mod:`repro.core.sdu_protection`'s CRC32 catches
+    them; every other payload is a live Python object the simulator
+    cannot bit-flip, so it is delivered wrapped in this sentinel
+    instead.  Receiving stacks treat the sentinel as a failed integrity
+    check: count the frame and drop it, never hand the payload up.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CorruptedFrame {self.payload!r}>"
+
+
+class JitterModel:
+    """Per-frame extra propagation delay, sampled at serialization end.
+
+    With ``preserve_order`` (the default) deliveries are clamped to the
+    latest delivery already scheduled in that direction, so jitter
+    stretches gaps but never reorders — variable queueing on a FIFO
+    path.  ``preserve_order=False`` lets large samples overtake small
+    ones: jitter then doubles as a reordering process.
+    """
+
+    __slots__ = ("preserve_order",)
+
+    def __init__(self, preserve_order: bool = True) -> None:
+        self.preserve_order = bool(preserve_order)
+
+    def sample(self, rng: random.Random) -> float:
+        """A non-negative, finite delay increment in seconds."""
+        raise NotImplementedError
+
+
+class UniformJitter(JitterModel):
+    """Uniform jitter in ``[0, amplitude]`` seconds."""
+
+    __slots__ = ("amplitude",)
+
+    def __init__(self, amplitude: float, preserve_order: bool = True) -> None:
+        if not (math.isfinite(amplitude) and amplitude >= 0.0):
+            raise ValueError(f"jitter amplitude must be finite and >= 0, "
+                             f"got {amplitude}")
+        super().__init__(preserve_order)
+        self.amplitude = float(amplitude)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.random() * self.amplitude
+
+
+class NormalJitter(JitterModel):
+    """Gaussian jitter clamped into ``[0, cap]`` seconds.
+
+    The clamp is what makes the model usable on a simulated wire: a
+    gauss sample is unbounded on both sides, and a negative increment
+    would deliver a frame before it finished propagating.  ``cap``
+    defaults to ``mean + 4*stddev``.
+    """
+
+    __slots__ = ("mean", "stddev", "cap")
+
+    def __init__(self, mean: float, stddev: float,
+                 cap: Optional[float] = None,
+                 preserve_order: bool = True) -> None:
+        if not (math.isfinite(mean) and mean >= 0.0):
+            raise ValueError(f"jitter mean must be finite and >= 0, got {mean}")
+        if not (math.isfinite(stddev) and stddev >= 0.0):
+            raise ValueError(f"jitter stddev must be finite and >= 0, "
+                             f"got {stddev}")
+        if cap is None:
+            cap = mean + 4.0 * stddev
+        if not (math.isfinite(cap) and cap >= 0.0):
+            raise ValueError(f"jitter cap must be finite and >= 0, got {cap}")
+        super().__init__(preserve_order)
+        self.mean = float(mean)
+        self.stddev = float(stddev)
+        self.cap = float(cap)
+
+    def sample(self, rng: random.Random) -> float:
+        value = rng.gauss(self.mean, self.stddev)
+        if value < 0.0:
+            return 0.0
+        if value > self.cap:
+            return self.cap
+        return value
+
+
+class BandwidthShaper:
+    """A token bucket throttling each direction to ``rate_bps``.
+
+    Tokens are bytes, refilled at ``rate_bps / 8`` per second and capped
+    at ``burst_bytes``.  A frame whose size exceeds the available tokens
+    waits (before serialization, so queue order is preserved) exactly
+    until the deficit refills — over any window the wire carries at most
+    ``burst_bytes + rate * window`` plus one in-flight frame.  State is
+    per direction; the model is deterministic (no RNG).
+    """
+
+    __slots__ = ("rate_bps", "burst_bytes", "_tokens", "_stamp")
+
+    def __init__(self, rate_bps: float,
+                 burst_bytes: Optional[float] = None) -> None:
+        if not (math.isfinite(rate_bps) and rate_bps > 0):
+            raise ValueError(f"shaper rate must be finite and positive, "
+                             f"got {rate_bps}")
+        if burst_bytes is None:
+            # default: 10 ms worth of rate, at least one MTU
+            burst_bytes = max(1500.0, rate_bps * 0.01 / 8.0)
+        if not (math.isfinite(burst_bytes) and burst_bytes >= 1.0):
+            raise ValueError(f"shaper burst must be finite and >= 1 byte, "
+                             f"got {burst_bytes}")
+        self.rate_bps = float(rate_bps)
+        self.burst_bytes = float(burst_bytes)
+        self._tokens = [self.burst_bytes, self.burst_bytes]
+        self._stamp = [0.0, 0.0]
+
+    def reserve(self, direction: int, size_bytes: int, now: float) -> float:
+        """Spend ``size_bytes`` of tokens; returns the wait in seconds
+        before the frame may start serializing (0 when the bucket has
+        enough)."""
+        rate = self.rate_bps / 8.0
+        tokens = min(self.burst_bytes,
+                     self._tokens[direction]
+                     + (now - self._stamp[direction]) * rate)
+        if tokens >= size_bytes:
+            self._tokens[direction] = tokens - size_bytes
+            self._stamp[direction] = now
+            return 0.0
+        wait = (size_bytes - tokens) / rate
+        self._tokens[direction] = 0.0
+        self._stamp[direction] = now + wait
+        return wait
+
+
+class CorruptionModel:
+    """Independent per-frame payload corruption with fixed probability.
+
+    A corrupted ``bytes`` payload gets 1..``max_flips`` random bytes
+    XORed with a non-zero mask (every flip really changes the byte, so
+    a CRC sees it); any other payload is wrapped in
+    :class:`CorruptedFrame`.  The frame still *arrives* — detection and
+    the drop happen in the receiving stack, which is the whole point:
+    corruption exercises SDU protection, not the loss path.
+    """
+
+    __slots__ = ("probability", "max_flips")
+
+    def __init__(self, probability: float, max_flips: int = 3) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"corruption probability must be in [0,1], "
+                             f"got {probability}")
+        if max_flips < 1:
+            raise ValueError(f"max_flips must be >= 1, got {max_flips}")
+        self.probability = float(probability)
+        self.max_flips = int(max_flips)
+
+    def should_corrupt(self, rng: random.Random) -> bool:
+        return rng.random() < self.probability
+
+    def corrupt(self, rng: random.Random, payload: Any) -> Any:
+        if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
+            data = bytearray(payload)
+            flips = 1 + rng.randrange(self.max_flips)
+            for _ in range(flips):
+                data[rng.randrange(len(data))] ^= 1 + rng.randrange(255)
+            return bytes(data)
+        return CorruptedFrame(payload)
+
+
+class ReorderModel:
+    """Bounded-displacement reordering of in-flight frames.
+
+    With probability ``probability`` a frame entering the wire is parked
+    while up to ``depth`` later frames overtake it, then released (also
+    released after ``max_hold`` seconds, so a lull cannot strand it, and
+    immediately if the model is removed mid-run).  At most one frame per
+    direction is parked at a time, which gives the invariant EFCP's
+    sequencing tests pin: no frame's delivery position differs from its
+    send position by more than ``depth``.
+    """
+
+    __slots__ = ("probability", "depth", "max_hold")
+
+    def __init__(self, probability: float, depth: int = 3,
+                 max_hold: float = 0.05) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"reorder probability must be in [0,1], "
+                             f"got {probability}")
+        if depth < 1:
+            raise ValueError(f"reorder depth must be >= 1, got {depth}")
+        if not (math.isfinite(max_hold) and max_hold >= 0.0):
+            raise ValueError(f"max_hold must be finite and >= 0, "
+                             f"got {max_hold}")
+        self.probability = float(probability)
+        self.depth = int(depth)
+        self.max_hold = float(max_hold)
+
+    def should_displace(self, rng: random.Random) -> bool:
+        return rng.random() < self.probability
+
+
+class _HeldFrame:
+    """One in-flight frame parked by a :class:`ReorderModel`."""
+
+    __slots__ = ("payload", "size", "remaining", "delay", "released")
+
+    def __init__(self, payload: Any, size: int, remaining: int,
+                 delay: float) -> None:
+        self.payload = payload
+        self.size = size
+        self.remaining = remaining
+        self.delay = delay
+        self.released = False
+
+
+class LinkConditions:
+    """The composable impairment bundle one link carries.
+
+    Any subset of the four slots may be set; ``None`` slots cost
+    nothing on the frame path.  Bundles are treated as immutable by the
+    link — injectors swap whole :class:`LinkConditions` objects (via
+    :meth:`replace`) rather than mutating one in place, so saving and
+    restoring a link's conditions is a plain reference copy.
+    """
+
+    __slots__ = ("jitter", "shaper", "corruption", "reorder")
+
+    def __init__(self, jitter: Optional[JitterModel] = None,
+                 shaper: Optional[BandwidthShaper] = None,
+                 corruption: Optional[CorruptionModel] = None,
+                 reorder: Optional[ReorderModel] = None) -> None:
+        for value, kind, label in ((jitter, JitterModel, "jitter"),
+                                   (shaper, BandwidthShaper, "shaper"),
+                                   (corruption, CorruptionModel, "corruption"),
+                                   (reorder, ReorderModel, "reorder")):
+            if value is not None and not isinstance(value, kind):
+                raise TypeError(f"{label} must be a {kind.__name__} or None, "
+                                f"got {type(value).__name__}")
+        self.jitter = jitter
+        self.shaper = shaper
+        self.corruption = corruption
+        self.reorder = reorder
+
+    def fresh(self) -> "LinkConditions":
+        """A copy safe to install on another link.
+
+        Stateless models (jitter, corruption, reorder policy) are
+        shared; the token-bucket shaper carries per-link bucket state
+        and is re-instantiated.  :meth:`~repro.sim.network.Network.connect`
+        installs ``conditions.fresh()`` so one bundle can parameterize a
+        whole builder-family topology without cross-link coupling.
+        """
+        shaper = (BandwidthShaper(self.shaper.rate_bps,
+                                  self.shaper.burst_bytes)
+                  if self.shaper is not None else None)
+        return LinkConditions(self.jitter, shaper, self.corruption,
+                              self.reorder)
+
+    def replace(self, **changes: Any) -> "LinkConditions":
+        """A new bundle with the named slots replaced."""
+        fields = {"jitter": self.jitter, "shaper": self.shaper,
+                  "corruption": self.corruption, "reorder": self.reorder}
+        for key in changes:
+            if key not in fields:
+                raise TypeError(f"unknown condition slot {key!r}")
+        fields.update(changes)
+        return LinkConditions(**fields)
+
+    @classmethod
+    def from_dict(cls, value: Dict[str, Any]) -> Optional["LinkConditions"]:
+        """Build a bundle from the JSON-safe spec form.
+
+        Grammar (every key optional / None):
+
+        * ``jitter``: ``{"model": "uniform", "amplitude": s}`` or
+          ``{"model": "normal", "mean": s, "stddev": s, "cap": s}``,
+          either with ``"preserve_order": bool``;
+        * ``shaper``: ``{"rate_bps": f, "burst_bytes": f}``;
+        * ``corruption``: ``{"probability": p, "max_flips": n}``;
+        * ``reorder``: ``{"probability": p, "depth": n, "max_hold": s}``.
+
+        Returns None when every slot is absent — no bundle at all.
+        """
+        unknown = set(value) - {"jitter", "shaper", "corruption", "reorder"}
+        if unknown:
+            raise ValueError(f"unknown condition keys {sorted(unknown)}")
+        jitter_spec = value.get("jitter")
+        jitter: Optional[JitterModel] = None
+        if jitter_spec is not None:
+            spec = dict(jitter_spec)
+            model = spec.pop("model", "uniform")
+            if model == "uniform":
+                jitter = UniformJitter(**spec)
+            elif model == "normal":
+                jitter = NormalJitter(**spec)
+            else:
+                raise ValueError(f"unknown jitter model {model!r}")
+        shaper_spec = value.get("shaper")
+        shaper = (BandwidthShaper(**shaper_spec)
+                  if shaper_spec is not None else None)
+        corruption_spec = value.get("corruption")
+        corruption = (CorruptionModel(**corruption_spec)
+                      if corruption_spec is not None else None)
+        reorder_spec = value.get("reorder")
+        reorder = (ReorderModel(**reorder_spec)
+                   if reorder_spec is not None else None)
+        if (jitter is None and shaper is None and corruption is None
+                and reorder is None):
+            return None
+        return cls(jitter=jitter, shaper=shaper, corruption=corruption,
+                   reorder=reorder)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        slots = [name for name in self.__slots__
+                 if getattr(self, name) is not None]
+        return f"<LinkConditions {'+'.join(slots) or 'empty'}>"
+
+
 class LinkEnd:
     """One attachment point of a link.
 
@@ -209,21 +543,34 @@ class Link:
         construction until the first frame actually needs a loss draw —
         a lossless link never materializes its PRNG, which matters at
         100k-link scale (a ``random.Random`` is ~2.5 KB of Mersenne
-        state).  An explicit ``rng`` wins over the factory.
+        state).  An explicit ``rng`` wins over the factory.  A factory
+        may additionally accept one positional stream-suffix argument
+        (``"jitter"``, ``"corrupt"``, ``"reorder"``): condition models
+        draw from those separately named streams, so installing a
+        condition never perturbs the loss stream (or any other link's
+        streams).  The bare ``factory()`` call keeps feeding the loss
+        model exactly as before.
+    conditions:
+        Optional :class:`LinkConditions` bundle (jitter, shaping,
+        corruption, reordering), also assignable at runtime via the
+        :attr:`conditions` property — that is how the scenario fault
+        injectors turn conditions on and off mid-run.
     """
 
     __slots__ = ("_engine", "name", "capacity_bps", "delay", "loss",
                  "queue_limit", "_rng", "_rng_factory", "_tracer", "_codec",
                  "ends", "_queues", "_busy", "_up", "_observers",
                  "frames_sent", "frames_dropped_queue", "frames_dropped_loss",
-                 "frames_delivered", "bytes_delivered", "_tx_label",
-                 "_rx_label")
+                 "frames_delivered", "bytes_delivered", "frames_corrupted",
+                 "_conditions", "_cond_rngs", "_reorder_held",
+                 "_last_delivery", "_tx_label", "_rx_label")
 
     def __init__(self, engine: Engine, name: str, capacity_bps: float = 1e8,
                  delay: float = 0.001, loss: Optional[LossModel] = None,
                  queue_limit: int = 256, rng: Optional[random.Random] = None,
                  tracer: Optional[Tracer] = None, codec: Optional[Any] = None,
-                 rng_factory: Optional[Callable[[], random.Random]] = None
+                 rng_factory: Optional[Callable[..., random.Random]] = None,
+                 conditions: Optional[LinkConditions] = None
                  ) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bps}")
@@ -259,16 +606,74 @@ class Link:
         self.frames_dropped_loss = [0, 0]
         self.frames_delivered = [0, 0]
         self.bytes_delivered = [0, 0]
+        self.frames_corrupted = [0, 0]
+        # condition state, lazy: a clean link carries four None slots
+        self._conditions: Optional[LinkConditions] = None
+        self._cond_rngs: Optional[Dict[str, random.Random]] = None
+        self._reorder_held: Optional[Tuple[List[_HeldFrame],
+                                           List[_HeldFrame]]] = None
+        self._last_delivery: Optional[List[float]] = None
         # event labels, precomputed: an f-string per scheduled event is
         # measurable at scale
         self._tx_label = f"{name}.tx"
         self._rx_label = f"{name}.rx"
+        if conditions is not None:
+            self.conditions = conditions
 
     # ------------------------------------------------------------------
     @property
     def up(self) -> bool:
         """False while the link is administratively failed."""
         return self._up
+
+    @property
+    def conditions(self) -> Optional[LinkConditions]:
+        """The impairment bundle in effect, or None for a clean link."""
+        return self._conditions
+
+    @conditions.setter
+    def conditions(self, value: Optional[LinkConditions]) -> None:
+        if value is not None and not isinstance(value, LinkConditions):
+            raise TypeError(f"conditions must be LinkConditions or None, "
+                            f"got {type(value).__name__}")
+        self._conditions = value
+        if value is not None:
+            if value.reorder is not None and self._reorder_held is None:
+                self._reorder_held = ([], [])
+            if value.jitter is not None and self._last_delivery is None:
+                self._last_delivery = [0.0, 0.0]
+        if (self._reorder_held is not None
+                and (value is None or value.reorder is None)):
+            # removing the reorder model releases any parked frame, in
+            # order — its time on the wire is already spent, not re-drawn
+            for direction in (0, 1):
+                for entry in list(self._reorder_held[direction]):
+                    self._release_held(direction, entry)
+
+    def _condition_rng(self, purpose: str) -> random.Random:
+        """The lazily built, per-purpose deterministic PRNG.
+
+        Each purpose (``jitter``/``corrupt``/``reorder``) gets its own
+        named stream via the link's ``rng_factory`` — independent of the
+        loss stream and of every other link — so installing a condition
+        mid-run cannot perturb any pre-existing draw sequence.  Links
+        built without a factory derive a stable seed from
+        ``"<link name>:<purpose>"`` instead.
+        """
+        rngs = self._cond_rngs
+        if rngs is None:
+            rngs = self._cond_rngs = {}
+        rng = rngs.get(purpose)
+        if rng is None:
+            factory = self._rng_factory
+            if factory is not None:
+                rng = factory(purpose)
+            else:
+                digest = hashlib.sha256(
+                    f"{self.name}:{purpose}".encode()).digest()
+                rng = random.Random(int.from_bytes(digest[:8], "big"))
+            rngs[purpose] = rng
+        return rng
 
     def observe(self, callback: Callable[["Link", bool], None]) -> None:
         """Register for fail/repair notifications (carrier detection)."""
@@ -281,6 +686,14 @@ class Link:
         self._up = False
         for direction in (0, 1):
             self._queues[direction].clear()
+        held = self._reorder_held
+        if held is not None:
+            # frames parked by the reorder model die with the link, like
+            # any other in-flight frame; the timeout event then no-ops
+            for direction in (0, 1):
+                for entry in held[direction]:
+                    entry.released = True
+                held[direction].clear()
         for callback in list(self._observers):
             callback(self, False)
 
@@ -324,6 +737,12 @@ class Link:
         self._busy[direction] = True
         payload, size = queue.popleft()
         tx_time = self.serialization_delay(size)
+        conditions = self._conditions
+        if conditions is not None and conditions.shaper is not None:
+            # the token-bucket wait precedes serialization, so shaping
+            # keeps FIFO order and holds the direction busy meanwhile
+            tx_time += conditions.shaper.reserve(direction, size,
+                                                 self._engine.now)
         self._engine.call_later(
             tx_time, self._finish_serialization, direction, payload, size,
             label=self._tx_label)
@@ -359,17 +778,89 @@ class Link:
         this seam to capture the encoded frame instead of scheduling
         local delivery.  The loss decision, queueing, and serialization
         above it stay shared either way.
+
+        Conditions apply here, to the wire form, in a fixed order —
+        corruption, then jitter, then reordering — each drawing from its
+        own named RNG stream (see :meth:`_condition_rng`).
         """
+        conditions = self._conditions
+        if conditions is None:
+            if self._codec is not None:
+                payload = self._codec.encode(payload)
+            self._engine.call_later(
+                self.delay, self._deliver, direction, payload, size,
+                label=self._rx_label)
+            return
         if self._codec is not None:
             payload = self._codec.encode(payload)
-        self._engine.call_later(
-            self.delay, self._deliver, direction, payload, size,
-            label=self._rx_label)
+        corruption = conditions.corruption
+        if corruption is not None:
+            rng = self._condition_rng("corrupt")
+            if corruption.should_corrupt(rng):
+                payload = corruption.corrupt(rng, payload)
+                self.frames_corrupted[direction] += 1
+                self._trace_count("link.corrupted")
+        delay = self.delay
+        jitter = conditions.jitter
+        if jitter is not None:
+            delay += jitter.sample(self._condition_rng("jitter"))
+        reorder = conditions.reorder
+        held = self._reorder_held
+        if (reorder is not None and not held[direction]
+                and reorder.should_displace(self._condition_rng("reorder"))):
+            # park this frame; it re-enters the wire once `depth` later
+            # frames have overtaken it (or at the max_hold fallback,
+            # measured from the moment it was parked)
+            entry = _HeldFrame(payload, size, reorder.depth, delay)
+            held[direction].append(entry)
+            self._engine.call_later(
+                reorder.max_hold, self._release_held, direction,
+                entry, label=self._rx_label)
+            return
+        self._schedule_conditioned(direction, payload, size, delay, jitter)
+        if held is not None and held[direction]:
+            entry = held[direction][0]
+            entry.remaining -= 1
+            if entry.remaining <= 0:
+                self._release_held(direction, entry)
+
+    def _schedule_conditioned(self, direction: int, payload: Any, size: int,
+                              delay: float,
+                              jitter: Optional[JitterModel]) -> None:
+        engine = self._engine
+        when = engine.now + delay
+        if jitter is not None and jitter.preserve_order:
+            # clamp to the latest delivery already scheduled in this
+            # direction: jitter stretches gaps, never reorders (engine
+            # ties break by scheduling order, so equality is enough)
+            last = self._last_delivery
+            if when < last[direction]:
+                when = last[direction]
+            last[direction] = when
+        engine.call_at(when, self._deliver, direction, payload, size,
+                       label=self._rx_label)
+
+    def _release_held(self, direction: int, entry: _HeldFrame) -> None:
+        if entry.released:
+            return
+        entry.released = True
+        held = self._reorder_held
+        if held is not None:
+            try:
+                held[direction].remove(entry)
+            except ValueError:
+                pass
+        if not self._up:
+            return
+        # deliberately displaced: skip the preserve_order clamp
+        self._schedule_conditioned(direction, entry.payload, entry.size,
+                                   entry.delay, None)
 
     def _deliver(self, direction: int, payload: Any, size: int) -> None:
         if not self._up:
             return
-        if self._codec is not None:
+        if self._codec is not None and not isinstance(payload,
+                                                      CorruptedFrame):
             payload = self._codec.decode(payload)
         self.frames_delivered[direction] += 1
         self.bytes_delivered[direction] += size
@@ -409,13 +900,14 @@ class WirelessLink(Link):
                  queue_limit: int = 128, rng: Optional[random.Random] = None,
                  tracer: Optional[Tracer] = None,
                  codec: Optional[Any] = None,
-                 rng_factory: Optional[Callable[[], random.Random]] = None
+                 rng_factory: Optional[Callable[..., random.Random]] = None,
+                 conditions: Optional[LinkConditions] = None
                  ) -> None:
         self._signal_loss = SignalLoss(signal=signal)
         super().__init__(engine, name, capacity_bps=capacity_bps, delay=delay,
                          loss=self._signal_loss, queue_limit=queue_limit,
                          rng=rng, tracer=tracer, codec=codec,
-                         rng_factory=rng_factory)
+                         rng_factory=rng_factory, conditions=conditions)
 
     @property
     def signal(self) -> float:

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import networkx as nx
 
 from .engine import Engine
-from .link import Link, LossModel, WirelessLink
+from .link import Link, LinkConditions, LossModel, WirelessLink
 from .node import Interface, Node
 from .rng import RandomStreams
 from .trace import Tracer
@@ -63,11 +63,14 @@ class Network:
     def connect(self, a: str, b: str, capacity_bps: float = 1e8,
                 delay: float = 0.001, loss: Optional[LossModel] = None,
                 queue_limit: int = 256, wireless: bool = False,
-                name: Optional[str] = None) -> Link:
+                name: Optional[str] = None,
+                conditions: Optional[LinkConditions] = None) -> Link:
         """Create a link between nodes ``a`` and ``b`` and plug it in.
 
         With ``wireless=True`` a :class:`WirelessLink` (signal-driven loss)
-        is built instead; ``loss`` is then ignored.
+        is built instead; ``loss`` is then ignored.  ``conditions`` is an
+        optional :class:`~repro.sim.link.LinkConditions` impairment
+        bundle (jitter/shaping/corruption/reordering).
         """
         # validate endpoints before any side effect (stream creation)
         self.node(a)
@@ -79,18 +82,29 @@ class Network:
         # The per-link loss PRNG is derived by name, so deferring its
         # construction to the first loss draw changes nothing — and a
         # lossless link never pays the ~2.5 KB Mersenne state at all.
-        def rng_factory(stream_name: str = f"link:{name}") -> "random.Random":
-            return self.streams.stream(stream_name)
+        # A suffix names an auxiliary per-link stream ("jitter",
+        # "corrupt", "reorder"): condition models draw from their own
+        # streams, so the bare loss stream — and every other link's —
+        # is never perturbed by installing a condition.
+        def rng_factory(suffix: str = "",
+                        _base: str = f"link:{name}") -> "random.Random":
+            return self.streams.stream(f"{_base}:{suffix}" if suffix
+                                       else _base)
+        if conditions is not None:
+            # one bundle may parameterize many links (builder families):
+            # give each link its own copy of any stateful model
+            conditions = conditions.fresh()
         if wireless:
             link: Link = WirelessLink(self.engine, name, capacity_bps=capacity_bps,
                                       delay=delay, queue_limit=queue_limit,
                                       rng_factory=rng_factory, tracer=self.tracer,
-                                      codec=self.codec)
+                                      codec=self.codec, conditions=conditions)
         else:
             link = Link(self.engine, name, capacity_bps=capacity_bps, delay=delay,
                         loss=loss, queue_limit=queue_limit,
                         rng_factory=rng_factory,
-                        tracer=self.tracer, codec=self.codec)
+                        tracer=self.tracer, codec=self.codec,
+                        conditions=conditions)
         return self.attach_link(link, a, b)
 
     def attach_link(self, link: Link, a: Optional[str],

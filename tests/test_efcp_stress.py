@@ -10,6 +10,8 @@ from repro.core.efcp import CONGESTION_AIMD, EfcpConnection, EfcpPolicy
 from repro.core.names import Address
 from repro.core.pdu import ControlPdu, DataPdu
 from repro.sim.engine import Engine
+from repro.sim.link import (CorruptedFrame, CorruptionModel, Link,
+                            LinkConditions, ReorderModel)
 
 
 class LossyWire:
@@ -202,6 +204,91 @@ class TestReceiverWindowEnforcement:
         # the connection still works for in-window traffic afterwards
         conn.handle_data(self._data(0))
         assert conn.stats.sdus_delivered == 1
+
+
+def conditioned_link_pair(conditions, seed=0, policy=None, name="efcp-wire"):
+    """An EFCP connection pair talking over a *real* simulated link
+    carrying a :class:`LinkConditions` bundle — the integration seam the
+    LossyWire tests above deliberately bypass."""
+    engine = Engine()
+    link = Link(engine, f"{name}{seed}", capacity_bps=1e8, delay=0.002,
+                queue_limit=2048, conditions=conditions)
+    policy = policy or EfcpPolicy(rto_initial=0.1, rto_min=0.02, rto_max=1.0)
+    got_a, got_b = [], []
+    a = EfcpConnection(engine, Address(1), Address(2), 1, 2, policy,
+                       output=lambda pdu: link.ends[0].send(
+                           pdu, pdu.wire_size()),
+                       deliver=lambda p, s: got_a.append(p))
+    b = EfcpConnection(engine, Address(2), Address(1), 2, 1, policy,
+                       output=lambda pdu: link.ends[1].send(
+                           pdu, pdu.wire_size()),
+                       deliver=lambda p, s: got_b.append(p))
+
+    def into(conn):
+        def on_receive(pdu, size):
+            if isinstance(pdu, CorruptedFrame):
+                return conn.handle_data(pdu)   # stats gate counts + drops
+            if isinstance(pdu, DataPdu):
+                return conn.handle_data(pdu)
+            return conn.handle_control(pdu)
+        return on_receive
+    link.ends[1].attach(into(b))
+    link.ends[0].attach(into(a))
+    return engine, link, a, b, got_a, got_b
+
+
+class TestConditionedLinkStress:
+    """EFCP riding links with the network-condition models installed:
+    bounded reordering must be fully masked by sequencing, and corrupted
+    PDUs must surface only in the stats counters — never as payload."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=5))
+    def test_property_bounded_reorder_fully_masked(self, seed, depth):
+        conditions = LinkConditions(
+            reorder=ReorderModel(0.3, depth=depth, max_hold=0.05))
+        engine, _link, a, _b, _ga, got_b = conditioned_link_pair(
+            conditions, seed=seed)
+        for index in range(60):
+            a.send(index, 20)
+        engine.run(until=60.0)
+        assert got_b == list(range(60))
+        assert a.all_acknowledged()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_corruption_counted_never_delivered(self, seed):
+        conditions = LinkConditions(corruption=CorruptionModel(0.15))
+        engine, link, a, b, got_a, got_b = conditioned_link_pair(
+            conditions, seed=seed,
+            policy=EfcpPolicy(rto_initial=0.05, rto_min=0.02, rto_max=0.5,
+                              max_retries=100))
+        for index in range(40):
+            a.send(("a", index), 50)
+            b.send(("b", index), 50)
+        engine.run(until=120.0)
+        # retransmission masks the damage end-to-end...
+        assert got_b == [("a", index) for index in range(40)]
+        assert got_a == [("b", index) for index in range(40)]
+        # ...and every wire-corrupted frame is visible in the stats, on
+        # the side that received it, never as a delivered payload
+        wire_corrupted = sum(link.frames_corrupted)
+        assert a.stats.corrupted + b.stats.corrupted == wire_corrupted
+        assert not any(isinstance(p, CorruptedFrame) for p in got_a + got_b)
+
+    def test_corruption_storm_forces_retransmissions(self):
+        conditions = LinkConditions(corruption=CorruptionModel(0.25))
+        engine, link, a, _b, _ga, got_b = conditioned_link_pair(
+            conditions, seed=3,
+            policy=EfcpPolicy(rto_initial=0.05, rto_min=0.02, rto_max=0.5,
+                              max_retries=100))
+        for index in range(50):
+            a.send(index, 40)
+        engine.run(until=120.0)
+        assert got_b == list(range(50))
+        assert sum(link.frames_corrupted) > 0
+        assert a.stats.retransmissions > 0
 
 
 class TestAimdFairness:

@@ -37,6 +37,16 @@ GOLDEN = {
     "e4-multihoming": "5a8c41b5117aa5829e25120c6f6868458df0a960aa22ce2b9e79f62cb304032f",
     "e5-mobility": "3dbcc7040c3210e6c10e6939a7252e0d92aff7335c1f25a59a8fcbf19ee48ab4",
     "fault-storm": "23d41f038bc9447f93e4776e66238faf98c035ca2d7bf2d169c0cbb32df91410",
+    # network-condition families, captured at their introduction (the
+    # jitter/shaping/corruption/reorder models + injector windows):
+    "flash-crowd":
+        "5fc7bdde8ceb3ce682f5912b4bf85a7fd161df663387a7e6acb84ada8c9b4915",
+    "diurnal-load":
+        "1ee533e2b19f0986cf26cc77e6af512633e8827d0ba2854b4bb253646a2e98b7",
+    "rolling-degradation":
+        "dd0037cf8a79a8d360cc529471e4a9d85590fa2675ba2143729ae97702169907",
+    "corruption-storm":
+        "9e35a524db146ea084edb9dca55b2b10018b66271fa27ed367ca2dc181ab8739",
 }
 
 
