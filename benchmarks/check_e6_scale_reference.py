@@ -33,10 +33,16 @@ REFERENCE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 #: ``table_rows`` / ``lsas_received`` joined the deterministic set with
 #: bench schema v2: they pin the aggregate routing state the columnar
 #: LSDB/RIB stores reproduce, independent of the round protocol.
+#: ``grants`` / ``relay_batches`` joined with the async-grants protocol:
+#: grant-fixpoint computations and nonempty relay deliveries are
+#: scheduling-independent in inline mode (the async scheduler consumes
+#: completions in region order there), so the reference pins them for
+#: all three protocols.  Wall-clock keys stay deliberately excluded.
 KEY_FIELDS = ("config", "regions", "hosts_per_region", "shards", "sparse",
               "protocol")
-CHECK_FIELDS = ("rounds", "region_steps", "frames_relayed", "events",
-                "enrolled", "table_rows", "lsas_received", "rib_sha256")
+CHECK_FIELDS = ("rounds", "grants", "region_steps", "frames_relayed",
+                "relay_batches", "events", "enrolled", "table_rows",
+                "lsas_received", "rib_sha256")
 
 
 def measure(reference_row):

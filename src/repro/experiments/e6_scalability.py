@@ -586,7 +586,8 @@ def _stateful_row(node_stats: List[Dict[str, Any]]) -> Dict[str, Any]:
 def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
                        seed: int = 1, mode: str = "auto",
                        balance: bool = False, sparse: bool = False,
-                       protocol: str = "per-channel") -> Dict[str, Any]:
+                       protocol: str = "per-channel",
+                       transport: str = "packed") -> Dict[str, Any]:
     """One stateful-tier row: the flat configuration's *control plane*
     (enrollment + RIEP + LSA flooding + keepalives) run unsharded
     (``shards=1``) or region-sharded over worker processes.
@@ -599,7 +600,9 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
     unsharded run.  ``sparse`` swaps in the sparse-traffic workload
     (:func:`build_sparse_stateful_workload`); ``protocol`` selects the
     round rule (``region_steps`` is where the protocols separate — see
-    :class:`repro.shard.coordinator.ShardRunResult`).
+    :class:`repro.shard.coordinator.ShardRunResult`); ``transport``
+    selects the relay wire format (``ring`` moves packed frame batches
+    through shared-memory SPSC rings in process mode).
     """
     from ..shard import RegionPlan, run_sharded, run_unsharded_stateful
     spec = build_flood_spec(regions, hosts_per_region)
@@ -619,10 +622,14 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
             "regions": regions,
             "shards": 1,
             "protocol": "serial",
+            "transport": "none",
             "enrolled": reference["enrolled"],
             "rounds": 1,
+            "grants": 1,
             "region_steps": 1,
             "frames_relayed": 0,
+            "relay_batches": 0,
+            "relay_bytes": 0,
         }
         row.update(_stateful_row(reference["node_stats"]))
         events = reference["events"]
@@ -630,8 +637,8 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
         plan = RegionPlan(spec, flood_assignment(regions, hosts_per_region,
                                                  shards, balance=balance))
         result = run_sharded(plan, workload, seed=seed, mode=mode,
-                             protocol=protocol, until=until,
-                             collect_traces=False)
+                             protocol=protocol, transport=transport,
+                             until=until, collect_traces=False)
         wall = time.perf_counter() - started
         row = {
             "config": "flat-stateful" + ("-sparse" if sparse else ""),
@@ -639,10 +646,14 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
             "regions": regions,
             "shards": len(plan.regions),
             "protocol": result.protocol,
+            "transport": transport,
             "enrolled": sum(s["enrolled"] for s in result.shards),
             "rounds": result.rounds,
+            "grants": result.grants,
             "region_steps": result.steps,
             "frames_relayed": result.frames_relayed,
+            "relay_batches": result.relay_batches,
+            "relay_bytes": result.relay_bytes,
         }
         row.update(_stateful_row(result.node_stats))
         events = result.events
@@ -657,9 +668,12 @@ def run_stateful_scale(regions: int, hosts_per_region: int, shards: int = 1,
 
 def iter_stateful_jobs(tiers: List[str] = ("small", "medium"),
                        shards: int = 2, seed: int = 1,
-                       balance: bool = False) -> List[Job]:
+                       balance: bool = False,
+                       protocol: str = "per-channel",
+                       transport: str = "packed") -> List[Job]:
     """The stateful sharded tier as data: per tier, the single-engine
-    reference row and the ``shards``-way partitioned row.  Same
+    reference row and the ``shards``-way partitioned row (under the
+    requested round ``protocol`` and relay ``transport``).  Same
     dispatch caveats as :func:`iter_flood_jobs` (each job is one whole
     sharded run)."""
     jobs = []
@@ -672,7 +686,8 @@ def iter_stateful_jobs(tiers: List[str] = ("small", "medium"),
             jobs.append(Job(
                 "repro.experiments.e6_scalability:run_stateful_scale",
                 kwargs={"regions": regions, "hosts_per_region": hosts,
-                        "shards": count, "seed": seed, "balance": balance},
+                        "shards": count, "seed": seed, "balance": balance,
+                        "protocol": protocol, "transport": transport},
                 group="e6-stateful",
                 label=f"e6-stateful flat {tier} x{count}"))
     return jobs

@@ -13,7 +13,8 @@ lookahead rule; `repro.experiments.e6_scalability` wires this into the
 E6 scale tier (``repro e6-scale --shards N``).
 """
 
-from .coordinator import (ShardCoordinator, ShardRunError, ShardRunResult,
+from .coordinator import (MODES, PROTOCOLS, TRANSPORT_NAMES,
+                          ShardCoordinator, ShardRunError, ShardRunResult,
                           run_sharded)
 from .engine import (BoundaryFrame, BoundaryHalf, ShardEngine,
                      attach_workload)
@@ -25,17 +26,21 @@ from .framing import (FrameFormatError, FrameTransport, PackedFrameTransport,
 from .plan import (BoundaryPort, LinkSpec, NetworkSpec, RegionPlan,
                    RegionSpec, ShardPlanError, assignment_by_prefix,
                    grant_horizons)
+from .ring import (RingError, SharedMemoryRingTransport, SpscRing,
+                   ring_supported)
 from .stateful import (StatefulControlPlane, rib_fingerprint,
                        run_unsharded_stateful, stateful_workload)
 
 __all__ = [
     "BoundaryFrame", "BoundaryHalf", "BoundaryPort", "FrameFormatError",
-    "FrameTransport", "LinkSpec", "NetworkSpec", "PackedFrameTransport",
-    "RegionPlan", "RegionSpec", "ShardCoordinator", "ShardPlanError",
-    "ShardRunError", "ShardRunResult", "StatefulControlPlane",
-    "all_nodes_announce", "assignment_by_prefix", "attach_flood",
-    "attach_workload", "delivery_rows", "flood_workload", "grant_horizons",
-    "node_stat_rows", "pack_frames", "rib_fingerprint", "run_sharded",
+    "FrameTransport", "LinkSpec", "MODES", "NetworkSpec",
+    "PROTOCOLS", "PackedFrameTransport", "RegionPlan", "RegionSpec",
+    "RingError", "ShardCoordinator", "ShardPlanError", "ShardRunError",
+    "ShardRunResult", "SharedMemoryRingTransport", "SpscRing",
+    "StatefulControlPlane", "TRANSPORT_NAMES", "all_nodes_announce",
+    "assignment_by_prefix", "attach_flood", "attach_workload",
+    "delivery_rows", "flood_workload", "grant_horizons", "node_stat_rows",
+    "pack_frames", "rib_fingerprint", "ring_supported", "run_sharded",
     "run_unsharded", "run_unsharded_stateful", "sparse_announce",
     "stateful_workload", "unpack_frames",
 ]

@@ -1,7 +1,7 @@
 """Drive per-region shard engines through conservative-lookahead rounds.
 
 The frame-exchange protocol (documented in docs/ARCHITECTURE.md) comes
-in two flavours, selected by ``protocol=``:
+in three flavours, selected by ``protocol=``:
 
 ``per-channel`` (the default)
     1. **ent** — each region's earliest possible activity: the minimum
@@ -32,6 +32,24 @@ in two flavours, selected by ``protocol=``:
     the per-channel grants provably dominate (see the property test in
     ``tests/test_shard_grants.py``).
 
+``async-grants`` (no barrier at all)
+    The per-channel rule, event-driven: the coordinator keeps every
+    region's last known activity bound, dispatches a region the moment
+    *its own* grant permits, and recomputes the fixpoint whenever a
+    step completes — so a fast region never waits on the round tail of
+    a slow one.  While a region is mid-step its contribution to the
+    fixpoint is its **dispatch-time ent**: every event it executes in
+    that step (and, by clock monotonicity, every later one) is at or
+    after that bound, and the fixpoint's ``lbts`` values only grow as
+    the computation advances, so a grant issued from an old fixpoint is
+    still a valid lower bound on every frame that can later arrive —
+    the standard conservative-synchronization monotonicity argument,
+    spelled out in docs/ARCHITECTURE.md.  Results are bit-identical to
+    the barrier protocols; the *counters* (grants, relay batches) are
+    deterministic inline, where completions are consumed in region
+    order, and timing-dependent in process mode, where
+    ``multiprocessing.connection.wait`` reports them as they land.
+
 Rounds repeat until every engine is drained and no frames are in
 flight (or the ``until`` cap is reached).  Workers are persistent
 processes — one per region, built from the same pure-data
@@ -41,9 +59,23 @@ subsystem established for jobs (and honouring its
 between rounds and so cannot be a fire-and-forget pool job.  Inside a
 ``multiprocessing`` pool worker (daemonic processes cannot have
 children) the coordinator transparently falls back to in-process
-execution — same rounds, same traces.  Frame batches cross worker
-pipes as one flat byte buffer per round per direction
-(:class:`~repro.shard.framing.PackedFrameTransport`).
+execution — same rounds, same traces.
+
+Frame batches cross to workers through one of three payload channels,
+announced per batch by a descriptor in the control message (control
+messages always stay on the pipe — they are tiny, and the pipe is the
+one handle ``connection.wait`` can select on):
+
+* ``object`` — the frame list rides inside the control message
+  (pickled; the measured baseline).
+* ``packed`` — one flat byte buffer per batch
+  (:class:`~repro.shard.framing.PackedFrameTransport`), sent with
+  ``Connection.send_bytes`` so the *buffer* is never pickled either.
+* ``ring`` — the identical packed buffer, written into a per-direction
+  shared-memory SPSC ring (:mod:`repro.shard.ring`): zero pickling and
+  no kernel copy on the hot path.  A batch that exceeds ring capacity
+  falls back to the ``packed`` pipe leg automatically — same bytes,
+  slower lane.
 """
 
 from __future__ import annotations
@@ -52,15 +84,21 @@ import math
 import multiprocessing
 import os
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..sweeps.runner import START_METHOD_ENV
 from .engine import BoundaryFrame, ShardEngine
 from .framing import TRANSPORTS, FrameTransport
 from .plan import RegionPlan, grant_horizons
+from .ring import SharedMemoryRingTransport, ring_supported
 
 MODES = ("auto", "inline", "process")
-PROTOCOLS = ("per-channel", "global-min")
+PROTOCOLS = ("per-channel", "global-min", "async-grants")
+#: the shard coordinator's transport vocabulary: the stateless pipe
+#: transports of :data:`~repro.shard.framing.TRANSPORTS` plus the
+#: stateful per-worker shared-memory ring
+TRANSPORT_NAMES = tuple(TRANSPORTS) + ("ring",)
 
 
 class ShardRunError(RuntimeError):
@@ -84,6 +122,19 @@ class ShardRunResult:
     # the per-worker synchronization cost the global `rounds` barrier
     # count no longer measures
     region_steps: List[int] = field(default_factory=list)
+    #: grant/floor computations the coordinator performed: equals
+    #: ``rounds`` for the barrier protocols (one per round) and the
+    #: scheduler-iteration count for async-grants, whose fixpoint is
+    #: recomputed per completion rather than per barrier
+    grants: int = 0
+    #: non-empty frame batches handed to regions (the coordinator →
+    #: region direction) — the unit the ring/pipe transports actually
+    #: move, deterministic in inline mode for every protocol
+    relay_batches: int = 0
+    #: packed payload bytes moved over worker channels, both
+    #: directions; 0 inline (no channel) and for the ``object``
+    #: transport (frames ride inside the pickled control message)
+    relay_bytes: int = 0
 
     @property
     def events(self) -> int:
@@ -96,8 +147,65 @@ class ShardRunResult:
         return sum(self.region_steps)
 
 
+# ----------------------------------------------------------------------
+# Payload channels: how one frame batch crosses a worker boundary.  The
+# control message carries a small descriptor; the bytes (if any) follow
+# on the announced channel.  Both endpoints share these two functions,
+# so the coordinator and the worker cannot disagree about the framing.
+# ----------------------------------------------------------------------
+
+def _stage_frames(transport: FrameTransport, frames: List[BoundaryFrame]
+                  ) -> Tuple[tuple, Optional[bytes], int]:
+    """Stage one outgoing batch: ``(descriptor, pipe_tail, nbytes)``.
+
+    A ring leg is written *now* — the record waits in shared memory
+    until the control message announces it (strict request-reply keeps
+    at most one record per direction in flight, so this never blocks on
+    a full ring).  A ``pipe_tail`` is returned instead when the batch
+    must ride the pipe: the caller sends it with ``send_bytes`` *after*
+    the control message, preserving pipe message order.
+    """
+    if not frames:
+        return ("empty",), None, 0
+    if transport.name == "object":
+        return ("inline", frames), None, 0
+    buf = transport.dumps(frames)
+    if (transport.name == "ring"
+            and len(buf) <= transport.tx.max_payload):
+        transport.tx.write(buf)
+        return ("ring", len(buf)), None, len(buf)
+    # the packed pipe leg — and the ring's oversized-batch fallback:
+    # identical bytes, sent unpickled via send_bytes
+    return ("bytes", len(buf)), buf, len(buf)
+
+
+def _recv_frames(conn, transport: FrameTransport, descriptor: tuple
+                 ) -> Tuple[List[BoundaryFrame], int]:
+    """Receive the batch a descriptor announced: ``(frames, nbytes)``."""
+    kind = descriptor[0]
+    if kind == "empty":
+        return [], 0
+    if kind == "inline":
+        return descriptor[1], 0
+    if kind == "bytes":
+        buf = conn.recv_bytes()
+        return transport.loads(buf), len(buf)
+    if kind == "ring":
+        buf = transport.rx.read()
+        if len(buf) != descriptor[1]:  # pragma: no cover - protocol bug
+            raise ShardRunError(
+                f"ring record of {len(buf)} bytes does not match "
+                f"announced batch of {descriptor[1]}")
+        return transport.loads(buf), len(buf)
+    raise ShardRunError(f"unknown payload descriptor {kind!r}")
+
+
 class _InlineShard:
     """A region engine living in the coordinator's own process."""
+
+    #: inline rounds hand frame lists over directly — no channel, no
+    #: bytes (kept as an attribute so the merge code is proxy-agnostic)
+    relay_bytes = 0
 
     def __init__(self, region, workload, seed) -> None:
         self._shard = ShardEngine(region, workload, seed=seed)
@@ -126,25 +234,36 @@ class _InlineShard:
         pass
 
 
-def _shard_worker(conn, region, workload, seed, transport_name) -> None:
+def _shard_worker(conn, region, workload, seed, transport_name,
+                  ring_handles=None) -> None:
     """Worker-process loop: build once, then step on command.
 
     Module-level so ``spawn`` can import it by reference; everything it
-    receives is pure data.  Frame batches arrive and leave through the
-    named :class:`~repro.shard.framing.FrameTransport`.
+    receives is pure data (ring handles are a segment name plus a
+    Condition, both spawn-safe).  Frame batches arrive and leave
+    through the named payload channel.
     """
+    ring = None
     try:
-        transport = TRANSPORTS[transport_name]
+        if transport_name == "ring":
+            ring = SharedMemoryRingTransport.attach_pair(ring_handles)
+            transport: FrameTransport = ring
+        else:
+            transport = TRANSPORTS[transport_name]
         shard = ShardEngine(region, workload, seed=seed)
         conn.send(("ready", shard.next_event_time()))
         while True:
             message = conn.recv()
             if message[0] == "step":
-                _kind, horizon, payload = message
-                shard.inject(transport.loads(payload))
+                _kind, horizon, descriptor = message
+                frames, _nbytes = _recv_frames(conn, transport, descriptor)
+                shard.inject(frames)
                 out = shard.run_to(horizon)
-                conn.send(("stepped", transport.dumps(out), shard.clock,
+                reply, tail, _nbytes = _stage_frames(transport, out)
+                conn.send(("stepped", reply, shard.clock,
                            shard.next_event_time()))
+                if tail is not None:
+                    conn.send_bytes(tail)
             elif message[0] == "finish":
                 _kind, want_rows, want_traces = message
                 conn.send(("done",
@@ -161,6 +280,8 @@ def _shard_worker(conn, region, workload, seed, transport_name) -> None:
         except Exception:  # pragma: no cover - parent already gone
             pass
     finally:
+        if ring is not None:
+            ring.close()
         conn.close()
 
 
@@ -168,17 +289,40 @@ class _ProcessShard:
     """A region engine in a dedicated persistent worker process."""
 
     def __init__(self, context, region, workload, seed,
-                 transport: FrameTransport) -> None:
+                 transport_name: str) -> None:
         self.region = region.region
-        self._transport = transport
+        self.relay_bytes = 0
+        self._ring: Optional[SharedMemoryRingTransport] = None
+        ring_handles = None
+        if transport_name == "ring":
+            # rings are per-worker state (unlike the stateless pipe
+            # transports): the coordinator creates — and later unlinks —
+            # both directions' segments, the worker only attaches
+            self._ring = SharedMemoryRingTransport.create_pair(context)
+            self._transport: FrameTransport = self._ring
+            ring_handles = self._ring.handles
+        else:
+            self._transport = TRANSPORTS[transport_name]
         parent_conn, child_conn = context.Pipe()
         self._conn = parent_conn
-        self._proc = context.Process(
-            target=_shard_worker,
-            args=(child_conn, region, workload, seed, transport.name),
-            name=f"shard-{region.region}", daemon=True)
-        self._proc.start()
+        try:
+            self._proc = context.Process(
+                target=_shard_worker,
+                args=(child_conn, region, workload, seed, transport_name,
+                      ring_handles),
+                name=f"shard-{region.region}", daemon=True)
+            self._proc.start()
+        except Exception:
+            if self._ring is not None:
+                self._ring.close()
+            raise
         child_conn.close()
+
+    @property
+    def conn(self):
+        """The control pipe — the waitable handle the async scheduler
+        selects on."""
+        return self._conn
 
     def _recv(self, expected: str):
         try:
@@ -199,11 +343,17 @@ class _ProcessShard:
 
     def send_step(self, horizon: Optional[float],
                   frames: List[BoundaryFrame]) -> None:
-        self._conn.send(("step", horizon, self._transport.dumps(frames)))
+        descriptor, tail, nbytes = _stage_frames(self._transport, frames)
+        self.relay_bytes += nbytes
+        self._conn.send(("step", horizon, descriptor))
+        if tail is not None:
+            self._conn.send_bytes(tail)
 
     def recv_step(self) -> Tuple[List[BoundaryFrame], float, Optional[float]]:
-        payload, clock, nxt = self._recv("stepped")
-        return self._transport.loads(payload), clock, nxt
+        descriptor, clock, nxt = self._recv("stepped")
+        frames, nbytes = _recv_frames(self._conn, self._transport, descriptor)
+        self.relay_bytes += nbytes
+        return frames, clock, nxt
 
     def finish(self, want_rows: bool, want_traces: bool):
         self._conn.send(("finish", want_rows, want_traces))
@@ -215,6 +365,28 @@ class _ProcessShard:
         if self._proc.is_alive():  # pragma: no cover - hung worker
             self._proc.terminate()
             self._proc.join(timeout=5)
+        if self._ring is not None:
+            # after the worker has exited (or been terminated): the
+            # creator's close also unlinks both segments
+            self._ring.close()
+
+
+class _LoopState:
+    """The round loop's mutable bookkeeping, shared by all protocols."""
+
+    __slots__ = ("nexts", "clocks", "inboxes", "region_steps", "rounds",
+                 "grants", "frames_relayed", "relay_batches")
+
+    def __init__(self, nexts: List[Optional[float]]) -> None:
+        count = len(nexts)
+        self.nexts = nexts
+        self.clocks = [0.0] * count
+        self.inboxes: List[List[BoundaryFrame]] = [[] for _ in range(count)]
+        self.region_steps = [0] * count
+        self.rounds = 0
+        self.grants = 0
+        self.frames_relayed = 0
+        self.relay_batches = 0
 
 
 class ShardCoordinator:
@@ -232,17 +404,23 @@ class ShardCoordinator:
         region, or running inside a daemonic pool worker).
     protocol:
         ``"per-channel"`` (fixpoint grants + quiet-cut batching, the
-        default) or ``"global-min"`` (the PR-5 floor+lookahead rule,
-        kept as the measured regression baseline).
+        default), ``"global-min"`` (the PR-5 floor+lookahead rule, kept
+        as the measured regression baseline), or ``"async-grants"``
+        (barrier-free: each region advances the moment its own
+        channels permit).
     start_method:
         ``multiprocessing`` start method for process mode; defaults to
         ``REPRO_START_METHOD`` (the sweeps knob), then the platform
         default.
     transport:
-        Frame-batch transport name (:data:`repro.shard.framing.TRANSPORTS`);
-        ``"packed"`` — one flat byte buffer per round per direction —
-        for worker processes.  Inline rounds always hand frame lists
-        over directly (there is no pipe to pack for).
+        Frame-batch payload channel for worker processes — one of
+        :data:`TRANSPORT_NAMES`: ``"packed"`` (flat byte buffer per
+        batch over the pipe, unpickled, the default), ``"object"``
+        (frames pickled inside the control message, the measured
+        baseline), or ``"ring"`` (the packed buffer through a
+        per-direction shared-memory SPSC ring, with automatic pipe
+        fallback for oversized batches).  Inline rounds always hand
+        frame lists over directly (there is no channel to pack for).
     """
 
     def __init__(self, plan: RegionPlan, workload: Dict[str, Any],
@@ -257,14 +435,18 @@ class ShardCoordinator:
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; known: "
                              f"{', '.join(PROTOCOLS)}")
-        if transport not in TRANSPORTS:
+        if transport not in TRANSPORT_NAMES:
             raise ValueError(f"unknown transport {transport!r}; known: "
-                             f"{', '.join(TRANSPORTS)}")
+                             f"{', '.join(TRANSPORT_NAMES)}")
+        if transport == "ring" and not ring_supported():
+            raise ValueError(
+                "transport 'ring' needs multiprocessing.shared_memory, "
+                "which this interpreter lacks")
         self.plan = plan
         self.workload = workload
         self.seed = seed
         self.protocol = protocol
-        self.transport = TRANSPORTS[transport]
+        self.transport_name = transport
         self.max_rounds = max_rounds
         self.start_method = (start_method
                              or os.environ.get(START_METHOD_ENV) or None)
@@ -310,25 +492,32 @@ class ShardCoordinator:
                     for region in self.plan.regions]
         context = multiprocessing.get_context(self.start_method)
         return [_ProcessShard(context, region, self.workload, self.seed,
-                              self.transport)
+                              self.transport_name)
                 for region in self.plan.regions]
 
     def _run_rounds(self, proxies, until, collect_rows,
                     collect_traces) -> ShardRunResult:
+        st = _LoopState([p.handshake() for p in proxies])
+        if self.protocol == "async-grants":
+            self._run_async(proxies, until, st)
+        else:
+            self._run_barrier(proxies, until, st)
+        self._cap_advance(proxies, until, st)
+        return self._merge(proxies, st, collect_rows, collect_traces)
+
+    # ------------------------------------------------------------------
+    def _run_barrier(self, proxies, until, st: _LoopState) -> None:
+        """The two barrier protocols: one grant computation, one work
+        set, one send-all-then-recv-all step per round."""
         plan = self.plan
         count = len(proxies)
-        nexts: List[Optional[float]] = [p.handshake() for p in proxies]
-        clocks = [0.0] * count
-        inboxes: List[List[BoundaryFrame]] = [[] for _ in range(count)]
-        region_steps = [0] * count
-        rounds = 0
-        frames_relayed = 0
         per_channel = self.protocol == "per-channel"
         while True:
             ents = []
             for index in range(count):
-                ent = nexts[index] if nexts[index] is not None else math.inf
-                for frame in inboxes[index]:
+                nxt = st.nexts[index]
+                ent = nxt if nxt is not None else math.inf
+                for frame in st.inboxes[index]:
                     if frame[0] < ent:
                         ent = frame[0]
                 ents.append(ent)
@@ -337,10 +526,11 @@ class ShardCoordinator:
                 break
             if until is not None and floor > until:
                 break
-            rounds += 1
-            if rounds > self.max_rounds:
+            st.rounds += 1
+            st.grants += 1
+            if st.rounds > self.max_rounds:
                 raise ShardRunError(self._livelock_report(
-                    floor, ents, clocks, nexts, inboxes))
+                    floor, ents, st.clocks, st.nexts, st.inboxes))
             if per_channel:
                 horizons = grant_horizons(ents, plan.channels, until=until)
                 working = [index for index in range(count)
@@ -358,52 +548,144 @@ class ShardCoordinator:
                 working = list(range(count))
             # frames injected in arrival order (stable on emission order)
             for index in working:
-                inboxes[index].sort(key=lambda frame: frame[0])
-            outputs = self._step_some(proxies, working, horizons, inboxes,
-                                      clocks)
+                st.inboxes[index].sort(key=lambda frame: frame[0])
+            outputs = self._step_some(proxies, working, horizons,
+                                      st.inboxes, st.clocks, st)
             # stepped regions consumed their inboxes at send time; clear
             # them all *before* relaying, or a frame relayed toward a
             # region stepped later in the same round would be wiped out
             for index, (out, clock, nxt) in zip(working, outputs):
-                region_steps[index] += 1
-                clocks[index] = clock
-                nexts[index] = nxt
-                inboxes[index] = []
+                st.region_steps[index] += 1
+                st.clocks[index] = clock
+                st.nexts[index] = nxt
+                st.inboxes[index] = []
             for index, (out, _clock, _next) in zip(working, outputs):
-                for frame in out:
-                    pair = plan.boundary_regions[frame[1]]
-                    dest = pair[1] if pair[0] == index else pair[0]
-                    inboxes[dest].append(frame)
-                    frames_relayed += 1
-        if until is not None and any(clock < until for clock in clocks):
-            # advance every engine to the cap (parity with an unsharded
-            # run(until=...), whose clock always ends at the cap).
-            # Leftover frames arriving beyond the cap are injected but
-            # stay undelivered, exactly as events beyond the cap stay
-            # unprocessed — and under the lookahead invariant this
-            # cap-advance can process no event at all, so it can emit
-            # no frame: every region's earliest activity already lies
-            # strictly beyond ``until`` (that is why the round loop
-            # ended).  A frame emitted here would mean a region ran
-            # past a grant, so it is a protocol violation, not a frame
-            # to relay.
-            for inbox in inboxes:
+                self._relay(plan, index, out, st)
+
+    # ------------------------------------------------------------------
+    def _run_async(self, proxies, until, st: _LoopState) -> None:
+        """The barrier-free protocol: dispatch each region the moment
+        its own grant permits; recompute the fixpoint per completion.
+
+        A busy region contributes its **dispatch-time ent** to the
+        fixpoint — a lower bound on every event it executes from that
+        moment on — so grants issued while it runs are still sound (the
+        monotonicity argument in the module docstring).  Inline,
+        completions are consumed lowest-region-first, which makes the
+        grant/batch counters deterministic; in process mode they arrive
+        in wall-clock order, so only the *results* (rows, stats,
+        traces) are pinned, not the counters.
+        """
+        plan = self.plan
+        count = len(proxies)
+        busy: Dict[int, float] = {}     # region index → dispatch-time ent
+        inline = self.mode == "inline"
+        if not inline:
+            conn_index = {proxies[index].conn: index
+                          for index in range(count)}
+        while True:
+            ents = []
+            for index in range(count):
+                if index in busy:
+                    ent = busy[index]
+                else:
+                    nxt = st.nexts[index]
+                    ent = nxt if nxt is not None else math.inf
+                for frame in st.inboxes[index]:
+                    if frame[0] < ent:
+                        ent = frame[0]
+                ents.append(ent)
+            floor = min(ents, default=math.inf)
+            if not busy:
+                if math.isinf(floor):
+                    break
+                if until is not None and floor > until:
+                    break
+            st.grants += 1
+            if st.grants > self.max_rounds:
+                raise ShardRunError(self._livelock_report(
+                    floor, ents, st.clocks, st.nexts, st.inboxes))
+            horizons = grant_horizons(ents, plan.channels, until=until)
+            dispatch = [index for index in range(count)
+                        if index not in busy
+                        and not math.isinf(ents[index])
+                        and ents[index] <= horizons[index]]
+            for index in dispatch:
+                inbox = st.inboxes[index]
                 inbox.sort(key=lambda frame: frame[0])
-            outputs = self._step_some(proxies, list(range(count)),
-                                      [until] * count, inboxes, clocks)
-            clocks = [clock for _out, clock, _next in outputs]
-            stray = [(plan.regions[index].region, len(out))
-                     for index, (out, _clock, _next) in enumerate(outputs)
-                     if out]
-            if stray:
-                raise ShardRunError(
-                    f"cap-advance to until={until!r} emitted boundary "
-                    f"frames from region(s) "
-                    f"{', '.join(f'{r} ({n} frame(s))' for r, n in stray)}: "
-                    f"the lookahead invariant guarantees no event can "
-                    f"execute past the final floor")
-        return self._merge(proxies, rounds, frames_relayed, region_steps,
-                           collect_rows, collect_traces)
+                horizon = horizons[index]
+                target = (None if math.isinf(horizon)
+                          else max(horizon, st.clocks[index]))
+                if inbox:
+                    st.relay_batches += 1
+                proxies[index].send_step(target, inbox)
+                st.inboxes[index] = []
+                st.region_steps[index] += 1
+                busy[index] = ents[index]
+            if dispatch:
+                st.rounds += 1
+            if not busy:
+                # all idle yet nothing dispatchable with a finite floor
+                # would contradict the no-livelock property; loop and
+                # let the max_rounds guard surface the diagnosis if a
+                # protocol bug ever gets us here
+                continue
+            # consume at least one completion, then re-solve the
+            # fixpoint with the new bounds
+            if inline:
+                ready = [min(busy)]
+            else:
+                waitable = [proxies[index].conn for index in busy]
+                ready = sorted(conn_index[conn]
+                               for conn in mp_connection.wait(waitable))
+            for index in ready:
+                out, clock, nxt = proxies[index].recv_step()
+                st.clocks[index] = clock
+                st.nexts[index] = nxt
+                del busy[index]
+                self._relay(plan, index, out, st)
+
+    # ------------------------------------------------------------------
+    def _relay(self, plan, index, out, st: _LoopState) -> None:
+        """Route one region's emitted frames to the far side of their
+        links; they wait in the destination inbox until its next step."""
+        for frame in out:
+            pair = plan.boundary_regions[frame[1]]
+            dest = pair[1] if pair[0] == index else pair[0]
+            st.inboxes[dest].append(frame)
+            st.frames_relayed += 1
+
+    def _cap_advance(self, proxies, until, st: _LoopState) -> None:
+        if until is None or not any(clock < until for clock in st.clocks):
+            return
+        # advance every engine to the cap (parity with an unsharded
+        # run(until=...), whose clock always ends at the cap).
+        # Leftover frames arriving beyond the cap are injected but
+        # stay undelivered, exactly as events beyond the cap stay
+        # unprocessed — and under the lookahead invariant this
+        # cap-advance can process no event at all, so it can emit
+        # no frame: every region's earliest activity already lies
+        # strictly beyond ``until`` (that is why the round loop
+        # ended).  A frame emitted here would mean a region ran
+        # past a grant, so it is a protocol violation, not a frame
+        # to relay.
+        count = len(proxies)
+        for inbox in st.inboxes:
+            inbox.sort(key=lambda frame: frame[0])
+        outputs = self._step_some(proxies, list(range(count)),
+                                  [until] * count, st.inboxes, st.clocks,
+                                  st)
+        st.clocks[:] = [clock for _out, clock, _next in outputs]
+        stray = [(self.plan.regions[index].region, len(out))
+                 for index, (out, _clock, _next) in enumerate(outputs)
+                 if out]
+        if stray:
+            raise ShardRunError(
+                f"cap-advance to until={until!r} emitted boundary "
+                f"frames from region(s) "
+                f"{', '.join(f'{r} ({n} frame(s))' for r, n in stray)}: "
+                f"the lookahead invariant guarantees no event can "
+                f"execute past the final floor")
 
     def _livelock_report(self, floor, ents, clocks, nexts, inboxes) -> str:
         """The max_rounds diagnosis: who is stuck, on what."""
@@ -419,7 +701,8 @@ class ShardCoordinator:
                    if inboxes[index] else ""))
         return "\n".join(lines)
 
-    def _step_some(self, proxies, working, horizons, inboxes, clocks):
+    def _step_some(self, proxies, working, horizons, inboxes, clocks,
+                   st: _LoopState):
         """Step the given regions concurrently and collect their
         replies (in ``working`` order).
 
@@ -436,35 +719,44 @@ class ShardCoordinator:
         ordered = [(proxies[index], target, inboxes[index])
                    for index, target in zip(working, targets)]
         for proxy, target, inbox in ordered:
+            if inbox:
+                st.relay_batches += 1
             proxy.send_step(target, inbox)
         return [proxy.recv_step() for proxy, _target, _inbox in ordered]
 
-    def _merge(self, proxies, rounds, frames_relayed, region_steps,
-               collect_rows, collect_traces) -> ShardRunResult:
+    def _merge(self, proxies, st: _LoopState, collect_rows,
+               collect_traces) -> ShardRunResult:
         rows: List[Dict[str, Any]] = []
         node_stats: List[Dict[str, Any]] = []
         summaries: List[Dict[str, Any]] = []
         traces: List[str] = []
+        relay_bytes = 0
         for proxy in proxies:
             shard_rows, shard_stats, summary, trace = proxy.finish(
                 collect_rows, collect_traces)
             rows.extend(shard_rows)
             node_stats.extend(shard_stats)
             summaries.append(summary)
+            relay_bytes += proxy.relay_bytes
             if collect_traces:
                 traces.append(trace)
         rows.sort(key=lambda row: (row["node"], row["origin"], row["seq"]))
         node_stats.sort(key=lambda row: row["node"])
         return ShardRunResult(rows=rows, node_stats=node_stats,
                               shards=summaries, traces=traces,
-                              rounds=rounds, frames_relayed=frames_relayed,
+                              rounds=st.rounds,
+                              frames_relayed=st.frames_relayed,
                               mode=self.mode, protocol=self.protocol,
-                              region_steps=region_steps)
+                              region_steps=st.region_steps,
+                              grants=st.grants,
+                              relay_batches=st.relay_batches,
+                              relay_bytes=relay_bytes)
 
 
 def run_sharded(plan: RegionPlan, workload: Dict[str, Any], seed: int = 0,
                 mode: str = "auto", protocol: str = "per-channel",
                 start_method: Optional[str] = None,
+                transport: str = "packed",
                 until: Optional[float] = None, collect_rows: bool = True,
                 collect_traces: bool = True) -> ShardRunResult:
     """One-call sharded execution of a plan + workload.
@@ -481,6 +773,7 @@ def run_sharded(plan: RegionPlan, workload: Dict[str, Any], seed: int = 0,
     """
     coordinator = ShardCoordinator(plan, workload, seed=seed, mode=mode,
                                    protocol=protocol,
-                                   start_method=start_method)
+                                   start_method=start_method,
+                                   transport=transport)
     return coordinator.run(until=until, collect_rows=collect_rows,
                            collect_traces=collect_traces)

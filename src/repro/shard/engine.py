@@ -42,7 +42,7 @@ import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import codec as wire_codec
-from ..sim.link import Link
+from ..sim.link import Link, LinkConditions
 from ..sim.network import Network
 from .flood import FLOOD_KIND, FloodRun, attach_flood
 from .plan import BoundaryPort, RegionSpec, UniformLoss
@@ -132,11 +132,16 @@ class ShardEngine:
         for node in region.nodes:
             self.network.add_node(node)
         for link in region.links:
+            # interior links rebuild their condition models from the
+            # captured spec; the RNG streams are named by link, so the
+            # draws match the unsharded build draw for draw
             self.network.connect(
                 link.a, link.b, name=link.name,
                 capacity_bps=link.capacity_bps, delay=link.delay,
                 queue_limit=link.queue_limit,
-                loss=None if link.loss is None else UniformLoss(link.loss))
+                loss=None if link.loss is None else UniformLoss(link.loss),
+                conditions=None if link.conditions is None
+                else LinkConditions.from_dict(link.conditions))
         self._halves: Dict[str, BoundaryHalf] = {}
         for port in region.boundary:
             self._attach_boundary(port)
@@ -229,6 +234,10 @@ class ShardEngine:
         for name, value in self.network.tracer.counters().items():
             lines.append(f"counter {name}={value}")
         lines.extend(self.workload.trace_lines())
-        lines.append(f"clock={self.clock!r} "
+        # the *causal* clock (time of the last executed event), not the
+        # parked horizon: round protocols park engines at different —
+        # causally irrelevant — instants, and the fingerprint must be
+        # invariant across them
+        lines.append(f"clock={self.network.engine.last_event_time!r} "
                      f"events={self.network.engine.events_processed}")
         return "\n".join(lines) + "\n"

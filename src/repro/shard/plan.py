@@ -34,7 +34,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..sim.link import NoLoss, UniformLoss
+from ..sim.link import LinkConditions, NoLoss, UniformLoss
 from ..sim.network import Network
 
 
@@ -53,6 +53,13 @@ class LinkSpec:
     delay: float = 0.001
     queue_limit: int = 256
     loss: Optional[float] = None    # uniform per-frame drop probability
+    #: :meth:`~repro.sim.link.LinkConditions.from_dict` grammar spec for
+    #: condition models (jitter/shaper/corruption/reorder), or None.  A
+    #: plain dict keeps the spec pure data; the models themselves are
+    #: re-instantiated fresh at :meth:`NetworkSpec.build` time, and
+    #: their RNG streams are named by link, so a conditioned *interior*
+    #: link behaves bit-identically sharded and unsharded.
+    conditions: Optional[Dict] = None
 
 
 @dataclass(frozen=True)
@@ -100,16 +107,18 @@ class NetworkSpec:
                     f"link {name!r}: loss model "
                     f"{type(link.loss).__name__} is not spec-capturable")
             if link.conditions is not None:
-                # condition models carry live strategy objects (token
-                # buckets, parked frames) with no pure-data form; a
-                # boundary half-link could not honor them anyway
-                raise ShardPlanError(
-                    f"link {name!r}: link conditions are not "
-                    f"spec-capturable")
+                # the models themselves carry live strategy state (token
+                # buckets, parked frames), but their construction
+                # parameters round-trip through the from_dict grammar —
+                # capture those and rebuild fresh models at build time
+                conditions: Optional[Dict] = link.conditions.to_dict()
+            else:
+                conditions = None
             links.append(LinkSpec(a=a, b=b, name=name,
                                   capacity_bps=link.capacity_bps,
                                   delay=link.delay,
-                                  queue_limit=link.queue_limit, loss=loss))
+                                  queue_limit=link.queue_limit, loss=loss,
+                                  conditions=conditions))
         return cls(nodes=tuple(network.nodes), links=tuple(links))
 
     def build(self, seed: int = 0, codec: Optional[object] = None) -> Network:
@@ -126,7 +135,9 @@ class NetworkSpec:
                 link.a, link.b, name=link.name,
                 capacity_bps=link.capacity_bps, delay=link.delay,
                 queue_limit=link.queue_limit,
-                loss=None if link.loss is None else UniformLoss(link.loss))
+                loss=None if link.loss is None else UniformLoss(link.loss),
+                conditions=None if link.conditions is None
+                else LinkConditions.from_dict(link.conditions))
         return network
 
 
@@ -209,6 +220,14 @@ class RegionPlan:
                     f"boundary link {link.name!r} has a loss model: loss "
                     f"draws would split across two RNG streams and "
                     f"diverge from the unsharded run")
+            if link.conditions is not None:
+                raise ShardPlanError(
+                    f"boundary link {link.name!r} carries link conditions "
+                    f"({', '.join(sorted(link.conditions))}): condition "
+                    f"models hold live per-link state (token buckets, "
+                    f"held-back frames, RNG draws) that cannot be split "
+                    f"across a region cut — assign both endpoints to one "
+                    f"region or strip the conditions from the cut link")
             boundary.append(link)
             region_ports[ra].append(BoundaryPort(
                 link=link, local_node=link.a, remote_node=link.b,

@@ -1,0 +1,473 @@
+"""Shared-memory SPSC byte rings for boundary-frame batches.
+
+The packed frame batches of :mod:`repro.shard.framing` are flat bytes,
+so the only remaining per-round transport cost in process mode is how
+those bytes cross the coordinator↔worker boundary.  A
+``multiprocessing.Pipe`` pays a pickle of the ``bytes`` object plus two
+copies through a socketpair; this module moves the payload through a
+**single-producer / single-consumer byte ring** over
+``multiprocessing.shared_memory`` instead — one ring per direction per
+worker — so a batch is written once into the mapped segment and read
+once out of it, with no pickling and no kernel round trip on the hot
+path.  Control messages (the ``step`` / ``stepped`` tuples) stay on the
+pipe: they are tiny, and keeping them there gives the coordinator a
+single waitable handle per worker (``multiprocessing.connection.wait``)
+for the asynchronous grant protocol.
+
+Segment layout (all little-endian, offsets in bytes)::
+
+    0   magic   u32  0x52494E47 ("RING")
+    4   version u32  1
+    8   capacity u32 (data bytes; multiple of 8)
+    64  write cursor u32   | 68  writer-waiting u32     (producer line)
+    128 read cursor  u32   | 132 reader-waiting u32     (consumer line)
+    192 data[capacity]
+
+The cursors are free-running virtual offsets mod 2**32 (capacity is
+capped well below 2**31, so ``(write - read) & 0xFFFFFFFF`` is the
+exact byte count in flight).  Producer and consumer cursor lines sit on
+separate 64-byte lines so neither side's stores false-share the
+other's.  Each side also caches its last view of the peer cursor and
+re-reads shared memory only when the cached view would block — the
+common case costs two local integer compares.
+
+Record layout (8-byte aligned)::
+
+    length u32 | tag u16 | check u16 | payload[length] | pad to 8
+
+``tag`` is the ring's monotone record sequence number mod 2**16 — the
+round tag: the reader verifies it against its own counter, so a record
+torn by a crashed writer (or a stray write into the segment) is
+rejected loudly instead of mis-framing everything after it.  ``check``
+is a header checksum over length and tag.  A record never wraps the
+data edge: when the remaining bytes to the edge cannot hold the header
+plus payload, the writer publishes a **wrap marker** (``length ==
+0xFFFFFFFF``, same tag/check discipline) and continues at offset 0, so
+the reader never reassembles a split header.
+
+SPSC safety argument: exactly one process writes the write cursor and
+exactly one writes the read cursor; each is a 4-byte aligned store, and
+the payload bytes are published *before* the cursor store that makes
+them visible.  CPython's memoryview stores are not C11 atomics, but an
+aligned 4-byte store cannot tear on any platform CPython supports, and
+the tag+checksum discipline independently catches a header that was
+somehow observed half-written.  Backpressure is bounded spin first
+(the ~µs case: the peer is actively draining), then a
+``multiprocessing.Condition`` with the waiting flag raised — the
+committer only takes the Condition lock when the flag says a peer is
+actually parked, so an uncontended transfer never touches a lock.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Any, List, Optional, Tuple
+
+from .framing import PackedFrameTransport
+
+try:                                    # pragma: no cover - import guard
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:                     # pragma: no cover - ancient python
+    _shared_memory = None
+
+_MAGIC = 0x52494E47
+_VERSION = 1
+
+_OFF_MAGIC = 0
+_OFF_VERSION = 4
+_OFF_CAPACITY = 8
+_OFF_WRITE = 64          # producer cache line: write cursor + writer flag
+_OFF_WRITER_WAIT = 68
+_OFF_READ = 128          # consumer cache line: read cursor + reader flag
+_OFF_READER_WAIT = 132
+_DATA_START = 192
+
+_U32 = struct.Struct("<I")
+_RECORD_HEAD = struct.Struct("<IHH")    # length, tag, check
+_RECORD_HEAD_SIZE = 8
+_WRAP_LENGTH = 0xFFFFFFFF
+_CHECK_SALT = 0x5AC3
+
+#: Default per-direction ring capacity.  A packed stateful-tier round
+#: batch is a few KB; 1 MiB absorbs the large flood tiers' fan-out
+#: batches while keeping a 10-worker coordinator's total mapping small.
+DEFAULT_CAPACITY = 1 << 20
+
+_SPIN_ROUNDS = 2000
+_COND_WAIT_S = 0.05
+
+
+class RingError(RuntimeError):
+    """A ring that is unusable: torn record, bad segment, or timeout."""
+
+
+def _check(length: int, tag: int) -> int:
+    """16-bit header checksum: catches a torn or overwritten header."""
+    return ((length & 0xFFFF) ^ (length >> 16) ^ tag ^ _CHECK_SALT) & 0xFFFF
+
+
+def ring_supported() -> bool:
+    """Whether this interpreter can build shared-memory rings at all."""
+    return _shared_memory is not None
+
+
+class SpscRing:
+    """One direction's byte ring over a shared-memory segment.
+
+    Exactly one process may call the write side and one the read side.
+    The creator owns the segment's lifetime (``close(unlink=True)``);
+    an attacher unregisters itself from its own ``resource_tracker`` so
+    a worker's exit never yanks the segment out from under the
+    coordinator (Python registers *attached* segments for cleanup too —
+    the well-known double-unlink hazard on 3.10–3.12).
+    """
+
+    def __init__(self, shm, condition, created: bool) -> None:
+        self._shm = shm
+        self._buf = shm.buf
+        self._condition = condition
+        self._created = created
+        self._closed = False
+        magic = _U32.unpack_from(self._buf, _OFF_MAGIC)[0]
+        version = _U32.unpack_from(self._buf, _OFF_VERSION)[0]
+        if magic != _MAGIC:
+            raise RingError(f"bad ring magic 0x{magic:08x} in segment "
+                            f"{shm.name!r}")
+        if version != _VERSION:
+            raise RingError(f"unsupported ring version {version}")
+        self.capacity = _U32.unpack_from(self._buf, _OFF_CAPACITY)[0]
+        # free-running local cursor copies: each side re-reads only the
+        # *peer* cursor from shared memory, and only when it must
+        self._write = _U32.unpack_from(self._buf, _OFF_WRITE)[0]
+        self._read = _U32.unpack_from(self._buf, _OFF_READ)[0]
+        self._write_tag = 0
+        self._read_tag = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, context, capacity: int = DEFAULT_CAPACITY) -> "SpscRing":
+        """Allocate a fresh ring segment plus its backpressure Condition
+        (from ``context`` so it survives a ``spawn`` trip)."""
+        if _shared_memory is None:      # pragma: no cover - ancient python
+            raise RingError("multiprocessing.shared_memory is unavailable")
+        if capacity % 8 or capacity < 64 or capacity >= (1 << 31):
+            raise RingError(f"ring capacity must be a multiple of 8 in "
+                            f"[64, 2**31), got {capacity}")
+        shm = _shared_memory.SharedMemory(create=True,
+                                          size=_DATA_START + capacity)
+        _U32.pack_into(shm.buf, _OFF_MAGIC, _MAGIC)
+        _U32.pack_into(shm.buf, _OFF_VERSION, _VERSION)
+        _U32.pack_into(shm.buf, _OFF_CAPACITY, capacity)
+        for offset in (_OFF_WRITE, _OFF_WRITER_WAIT, _OFF_READ,
+                       _OFF_READER_WAIT):
+            _U32.pack_into(shm.buf, offset, 0)
+        return cls(shm, context.Condition(), created=True)
+
+    @classmethod
+    def attach(cls, handle: Tuple[str, Any]) -> "SpscRing":
+        """Open the other end of a ring from its ``(name, condition)``
+        handle (what :attr:`handle` returns and worker args carry)."""
+        if _shared_memory is None:      # pragma: no cover - ancient python
+            raise RingError("multiprocessing.shared_memory is unavailable")
+        name, condition = handle
+        shm = _shared_memory.SharedMemory(name=name)
+        # NOTE: attaching re-registers the segment with the resource
+        # tracker.  Workers are always direct children of the creator,
+        # so they inherit the *same* tracker process and the re-register
+        # is an idempotent set-add — the creator's unlink clears the one
+        # cache entry and the tracker exits clean.  (Unregistering here,
+        # the usual independent-process workaround, would instead yank
+        # the shared entry out from under the creator's unlink.)
+        return cls(shm, condition, created=False)
+
+    @property
+    def handle(self) -> Tuple[str, Any]:
+        """Pure-data-plus-Condition handle a worker can attach from."""
+        return (self._shm.name, self._condition)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def max_payload(self) -> int:
+        """Largest payload a single record can carry: one record header
+        plus a possible wrap marker must always fit alongside it."""
+        return self.capacity - 2 * _RECORD_HEAD_SIZE
+
+    # ------------------------------------------------------------------
+    def _used(self) -> int:
+        return (self._write - self._read) & 0xFFFFFFFF
+
+    def _peer_read(self) -> int:
+        return _U32.unpack_from(self._buf, _OFF_READ)[0]
+
+    def _peer_write(self) -> int:
+        return _U32.unpack_from(self._buf, _OFF_WRITE)[0]
+
+    @staticmethod
+    def _padded(length: int) -> int:
+        return _RECORD_HEAD_SIZE + ((length + 7) & ~7)
+
+    def _free(self, need: int) -> bool:
+        """Whether ``need`` bytes fit, refreshing the cached read cursor
+        from shared memory only when the cached view says no."""
+        if self.capacity - self._used() >= need:
+            return True
+        self._read = self._peer_read()
+        return self.capacity - self._used() >= need
+
+    def try_write(self, payload: bytes) -> bool:
+        """Publish one record if space permits; False when full.
+
+        Never blocks and never splits: an oversized payload (``>
+        max_payload``) returns False immediately — the caller's pipe
+        fallback handles it.  When the record cannot fit before the data
+        edge, the wrap marker is published *on its own* even if the
+        record itself does not fit yet: the reader consumes the marker,
+        freeing the edge run, and a retry succeeds once it has — this is
+        what keeps a ``max_payload`` record writable from any offset.
+        """
+        if self._closed:
+            raise RingError("write on a closed ring")
+        length = len(payload)
+        if length > self.max_payload:
+            return False
+        need = self._padded(length)
+        buf = self._buf
+        while True:
+            offset = self._write % self.capacity
+            to_edge = self.capacity - offset
+            if need <= to_edge:
+                break
+            # the record will not fit before the edge: burn the edge run
+            # with a wrap marker (a record in its own right — tagged,
+            # checksummed, and published through the cursor)
+            if not self._free(to_edge):
+                return False
+            tag = self._write_tag
+            _RECORD_HEAD.pack_into(buf, _DATA_START + offset, _WRAP_LENGTH,
+                                   tag, _check(_WRAP_LENGTH, tag))
+            self._write_tag = (tag + 1) & 0xFFFF
+            self._write = (self._write + to_edge) & 0xFFFFFFFF
+            _U32.pack_into(buf, _OFF_WRITE, self._write)
+            if _U32.unpack_from(buf, _OFF_READER_WAIT)[0]:
+                with self._condition:
+                    self._condition.notify_all()
+        if not self._free(need):
+            return False
+        tag = self._write_tag
+        head = _DATA_START + (self._write % self.capacity)
+        buf[head + _RECORD_HEAD_SIZE:
+            head + _RECORD_HEAD_SIZE + length] = payload
+        _RECORD_HEAD.pack_into(buf, head, length, tag, _check(length, tag))
+        self._write_tag = (tag + 1) & 0xFFFF
+        # the cursor store is the publication point: payload and header
+        # bytes are in the segment before the reader can see them
+        self._write = (self._write + need) & 0xFFFFFFFF
+        _U32.pack_into(buf, _OFF_WRITE, self._write)
+        if _U32.unpack_from(buf, _OFF_READER_WAIT)[0]:
+            with self._condition:
+                self._condition.notify_all()
+        return True
+
+    def write(self, payload: bytes, timeout: Optional[float] = 30.0) -> None:
+        """Publish one record, waiting out backpressure.
+
+        Bounded spin first (the peer is usually mid-drain), then parks
+        on the Condition with the writer-waiting flag raised.  Raises
+        :class:`RingError` on timeout — a reader gone missing is a
+        protocol bug, not a state to wait on forever.
+        """
+        if self.try_write(payload):
+            return
+        if len(payload) > self.max_payload:
+            raise RingError(f"payload of {len(payload)} bytes exceeds ring "
+                            f"max_payload {self.max_payload}")
+        for _ in range(_SPIN_ROUNDS):
+            if self.try_write(payload):
+                return
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        buf = self._buf
+        _U32.pack_into(buf, _OFF_WRITER_WAIT, 1)
+        try:
+            while True:
+                if self.try_write(payload):
+                    return
+                with self._condition:
+                    # re-check under the lock: the reader's notify and
+                    # our wait cannot interleave into a lost wakeup
+                    # because try_write re-reads the peer cursor
+                    if self.try_write(payload):
+                        return
+                    self._condition.wait(_COND_WAIT_S)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RingError(
+                        f"ring write timed out after {timeout}s "
+                        f"({len(payload)} bytes, {self._used()} in flight)")
+        finally:
+            _U32.pack_into(buf, _OFF_WRITER_WAIT, 0)
+
+    # ------------------------------------------------------------------
+    def try_read(self) -> Optional[bytes]:
+        """Consume one record if available; None when the ring is empty.
+
+        Raises :class:`RingError` on a torn or out-of-sequence header —
+        corruption must fail the run, not resynchronize silently.
+        """
+        if self._closed:
+            raise RingError("read on a closed ring")
+        while True:
+            if self._read == self._write:
+                self._write = self._peer_write()
+                if self._read == self._write:
+                    return None
+            buf = self._buf
+            offset = self._read % self.capacity
+            head = _DATA_START + offset
+            length, tag, check = _RECORD_HEAD.unpack_from(buf, head)
+            if check != _check(length, tag) or tag != self._read_tag:
+                raise RingError(
+                    f"torn or corrupt ring record at offset {offset}: "
+                    f"length={length} tag={tag} (expected tag "
+                    f"{self._read_tag}) check=0x{check:04x}")
+            self._read_tag = (tag + 1) & 0xFFFF
+            if length == _WRAP_LENGTH:
+                self._read = (self._read + (self.capacity - offset)) \
+                    & 0xFFFFFFFF
+                _U32.pack_into(buf, _OFF_READ, self._read)
+                continue
+            if length > self.max_payload:
+                raise RingError(f"corrupt ring record length {length}")
+            start = head + _RECORD_HEAD_SIZE
+            payload = bytes(buf[start:start + length])
+            self._read = (self._read + self._padded(length)) & 0xFFFFFFFF
+            _U32.pack_into(buf, _OFF_READ, self._read)
+            if _U32.unpack_from(buf, _OFF_WRITER_WAIT)[0]:
+                with self._condition:
+                    self._condition.notify_all()
+            return payload
+
+    def read(self, timeout: Optional[float] = 30.0) -> bytes:
+        """Consume one record, waiting for it to arrive (spin, then
+        Condition with the reader-waiting flag raised)."""
+        payload = self.try_read()
+        if payload is not None:
+            return payload
+        for _ in range(_SPIN_ROUNDS):
+            payload = self.try_read()
+            if payload is not None:
+                return payload
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        buf = self._buf
+        _U32.pack_into(buf, _OFF_READER_WAIT, 1)
+        try:
+            while True:
+                payload = self.try_read()
+                if payload is not None:
+                    return payload
+                with self._condition:
+                    payload = self.try_read()
+                    if payload is not None:
+                        return payload
+                    self._condition.wait(_COND_WAIT_S)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RingError(
+                        f"ring read timed out after {timeout}s")
+        finally:
+            _U32.pack_into(buf, _OFF_READER_WAIT, 0)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this end's mapping; the creator also unlinks the
+        segment (idempotent — worker-crash cleanup calls this again)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        self._shm.close()
+        if self._created:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:   # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:          # pragma: no cover - debug aid
+        state = "closed" if self._closed else f"{self._used()}B in flight"
+        return f"<SpscRing {self._shm.name} cap={self.capacity} {state}>"
+
+
+class SharedMemoryRingTransport(PackedFrameTransport):
+    """The ring-backed frame transport: packed bytes, conveyed through a
+    per-direction :class:`SpscRing` pair instead of the pipe.
+
+    One instance per worker channel (rings are per-pair state, unlike
+    the stateless pipe transports).  ``dumps``/``loads`` stay the
+    packed flat-byte codec — the bytes in the ring are identical to the
+    bytes a pipe would carry, which is what lets the oversized-batch
+    pipe fallback reuse them unchanged.  The coordinator side calls
+    :meth:`create_pair`; the worker side rebuilds from the pure-data
+    handles via :meth:`attach_pair`.
+    """
+
+    name = "ring"
+
+    def __init__(self, tx: Optional[SpscRing] = None,
+                 rx: Optional[SpscRing] = None) -> None:
+        self.tx = tx
+        self.rx = rx
+
+    @classmethod
+    def create_pair(cls, context,
+                    capacity: int = DEFAULT_CAPACITY
+                    ) -> "SharedMemoryRingTransport":
+        """Coordinator side: allocate both directions' rings."""
+        tx = SpscRing.create(context, capacity)
+        try:
+            rx = SpscRing.create(context, capacity)
+        except Exception:
+            tx.close()
+            raise
+        return cls(tx=tx, rx=rx)
+
+    @property
+    def handles(self) -> Tuple[Tuple[str, Any], Tuple[str, Any]]:
+        """(worker-rx handle, worker-tx handle): the coordinator's tx is
+        the worker's rx and vice versa."""
+        return (self.tx.handle, self.rx.handle)
+
+    @classmethod
+    def attach_pair(cls, handles) -> "SharedMemoryRingTransport":
+        """Worker side: open both rings from their handles (the
+        coordinator's tx becomes this side's rx)."""
+        rx_handle, tx_handle = handles
+        rx = SpscRing.attach(rx_handle)
+        try:
+            tx = SpscRing.attach(tx_handle)
+        except Exception:
+            rx.close()
+            raise
+        return cls(tx=tx, rx=rx)
+
+    def close(self) -> None:
+        for ring in (self.tx, self.rx):
+            if ring is not None:
+                ring.close()
+
+
+def pipe_bytes_roundtrip(conn_a, conn_b, payloads: List[bytes],
+                         pickled: bool) -> None:
+    """Echo ``payloads`` through a connected pipe pair — the relay
+    micro-benchmark's pipe legs (``pickled`` selects ``send`` of the
+    bytes object vs ``send_bytes``).  Lives here so the bench and its
+    smoke test share one definition."""
+    for payload in payloads:
+        if pickled:
+            conn_a.send(payload)
+            conn_b.recv()
+        else:
+            conn_a.send_bytes(payload)
+            conn_b.recv_bytes()

@@ -98,6 +98,7 @@ class Engine:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._last_event_time = self._now
         self._max_events: Optional[int] = None
         self._live = 0   # non-cancelled events currently queued
 
@@ -113,6 +114,23 @@ class Engine:
     def events_processed(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._events_processed
+
+    @property
+    def last_event_time(self) -> float:
+        """Timestamp of the most recently executed event (the start time
+        before anything has run).
+
+        Unlike :attr:`now` this never moves on an empty advance: a
+        ``run(until=...)`` that parks the clock past the last event
+        leaves it untouched.  That makes it the *causal* end of a run —
+        a function of the events alone — where the parked clock is an
+        artifact of whichever horizon the caller chose.  The shard
+        traces render this value so per-shard fingerprints are
+        invariant across coordinator round protocols, whose grant
+        horizons park engines at different (causally irrelevant)
+        instants.
+        """
+        return self._last_event_time
 
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still in the queue.
@@ -253,6 +271,7 @@ class Engine:
                     event._expired = True
                     self._live -= 1
                     self._now = when
+                    self._last_event_time = when
                     self._events_processed += 1
                     if budget is not None:
                         budget -= 1

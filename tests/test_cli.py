@@ -99,6 +99,45 @@ class TestShardedScaleFlags:
                      iter_flood_jobs(["small"], shards=2, balance=True)):
             assert jobs and all(job.kwargs["balance"] for job in jobs)
 
+    def test_choice_mirrors_match_shard_package(self):
+        # the CLI avoids importing repro.shard at startup by mirroring
+        # its protocol/transport tuples; the mirror must never drift
+        from repro.__main__ import PROTOCOL_CHOICES, TRANSPORT_CHOICES
+        from repro.shard import PROTOCOLS, TRANSPORT_NAMES
+        assert PROTOCOL_CHOICES == PROTOCOLS
+        assert TRANSPORT_CHOICES == TRANSPORT_NAMES
+
+    def test_protocol_and_transport_require_stateful(self, capsys):
+        assert main(["e6-scale", "--shards", "2",
+                     "--protocol", "async-grants"]) == 2
+        assert "--protocol/--transport" in capsys.readouterr().err
+        assert main(["e2", "--transport", "ring"]) == 2
+        assert "--protocol/--transport" in capsys.readouterr().err
+
+    def test_unknown_protocol_rejected_with_choices(self, capsys):
+        assert main(["e6-scale", "--shards", "2", "--stateful",
+                     "--protocol", "psychic"]) == 2
+        err = capsys.readouterr().err
+        assert "psychic" in err and "async-grants" in err
+
+    def test_stateful_tier_runs_async_grants_over_ring(self, capsys,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_E6_STATEFUL_TIERS", "small")
+        assert main(["e6-scale", "--shards", "2", "--stateful",
+                     "--protocol", "async-grants",
+                     "--transport", "ring"]) == 0
+        out = capsys.readouterr().out
+        assert "async-grants" in out and "rib_sha256" in out
+
+    def test_stateful_jobs_carry_protocol_and_transport(self):
+        from repro.experiments.e6_scalability import iter_stateful_jobs
+        jobs = iter_stateful_jobs(["small"], shards=2,
+                                  protocol="async-grants", transport="ring")
+        assert jobs
+        for job in jobs:
+            assert job.kwargs["protocol"] == "async-grants"
+            assert job.kwargs["transport"] == "ring"
+
 
 class TestJobsFlag:
     """``--jobs`` parsing and the ``REPRO_JOBS`` fallback."""

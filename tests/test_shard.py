@@ -237,3 +237,74 @@ class TestLookaheadEdges:
             ShardCoordinator(plan, workload, mode="threads")
         with pytest.raises(ValueError, match="unknown start method"):
             ShardCoordinator(plan, workload, start_method="Spawn")
+
+
+# ----------------------------------------------------------------------
+# Condition-bearing links through the spec (the PR-9 leftover)
+# ----------------------------------------------------------------------
+class TestConditionSpecCapture:
+    """Interior links carry their condition models through the
+    pure-data spec; boundary cut links still refuse them, loudly."""
+
+    def conditioned_spec(self):
+        # a--b conditioned interior (region 0), c--d conditioned
+        # interior (region 1), b--c the clean cut link
+        jitter = {"jitter": {"model": "uniform", "amplitude": 0.0002,
+                             "preserve_order": True}}
+        shaped = {"shaper": {"rate_bps": 5e7, "burst_bytes": 4096}}
+        return NetworkSpec(
+            nodes=("a", "b", "c", "d"),
+            links=(LinkSpec(a="a", b="b", name="ab", conditions=jitter),
+                   LinkSpec(a="b", b="c", name="bc", delay=0.002),
+                   LinkSpec(a="c", b="d", name="cd", conditions=shaped)))
+
+    def test_from_network_captures_condition_grammar(self):
+        spec = self.conditioned_spec()
+        network = spec.build(seed=5)
+        captured = NetworkSpec.from_network(network)
+        by_name = {link.name: link for link in captured.links}
+        assert by_name["ab"].conditions == {
+            "jitter": {"model": "uniform", "amplitude": 0.0002,
+                       "preserve_order": True}}
+        assert by_name["cd"].conditions == {
+            "shaper": {"rate_bps": 5e7, "burst_bytes": 4096}}
+        assert by_name["bc"].conditions is None
+        # and the capture itself rebuilds: spec -> network -> spec is a
+        # fixed point for the canonical grammar forms
+        assert NetworkSpec.from_network(captured.build(seed=5)) == captured
+
+    def test_conditioned_boundary_link_rejected_with_clear_error(self):
+        jitter = {"jitter": {"model": "uniform", "amplitude": 0.0002}}
+        spec = NetworkSpec(
+            nodes=("a", "b"),
+            links=(LinkSpec(a="a", b="b", name="ab", conditions=jitter),))
+        with pytest.raises(ShardPlanError,
+                           match="carries link conditions"):
+            RegionPlan(spec, {"a": 0, "b": 1})
+        # the same link is fine when the cut does not cross it
+        plan = RegionPlan(spec, {"a": 0, "b": 0})
+        assert plan.regions[0].links[0].conditions == jitter
+
+    def test_conditioned_interior_links_sharded_bit_identical(self):
+        # the acceptance pin: per-link named RNG streams depend only on
+        # (seed, link name), so a conditioned *interior* link draws the
+        # same jitter offsets sharded and unsharded — rows, stats, and
+        # timestamps all bit-identical
+        spec = self.conditioned_spec()
+        plan = RegionPlan(spec, {"a": 0, "b": 0, "c": 1, "d": 1})
+        workload = all_nodes_announce(spec.nodes)
+        reference = run_unsharded(spec, workload, seed=3)
+        for protocol in ("per-channel", "async-grants"):
+            sharded = run_sharded(plan, workload, seed=3, mode="inline",
+                                  protocol=protocol)
+            assert sharded.rows == reference["rows"], protocol
+            assert sharded.node_stats == reference["node_stats"], protocol
+
+    def test_conditioned_interior_links_survive_process_mode(self):
+        spec = self.conditioned_spec()
+        plan = RegionPlan(spec, {"a": 0, "b": 0, "c": 1, "d": 1})
+        workload = all_nodes_announce(spec.nodes)
+        inline = run_sharded(plan, workload, seed=3, mode="inline")
+        process = run_sharded(plan, workload, seed=3, mode="process")
+        assert process.rows == inline.rows
+        assert process.traces == inline.traces

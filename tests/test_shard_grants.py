@@ -259,3 +259,91 @@ class TestLivelockDiagnostics:
         result = coordinator.run(until=49.0)
         assert result.rounds == 0
         assert all(s["clock"] == 49.0 for s in result.shards)
+
+
+class TestAsyncGrants:
+    """The barrier-free protocol: bit-identical results, deterministic
+    inline counters, and no lost work when regions advance out of
+    lockstep."""
+
+    def test_flood_results_match_both_barrier_protocols(self):
+        spec = build_flood_spec(3, 2)
+        plan = RegionPlan(spec, flood_assignment(3, 2, 3))
+        workload = all_nodes_announce(spec.nodes)
+        reference = run_unsharded(spec, workload, seed=0)
+        runs = {proto: run_sharded(plan, workload, seed=0, mode="inline",
+                                   protocol=proto)
+                for proto in ("per-channel", "global-min", "async-grants")}
+        for proto, result in runs.items():
+            assert result.rows == reference["rows"], proto
+            assert result.node_stats == reference["node_stats"], proto
+        assert runs["async-grants"].traces == runs["per-channel"].traces
+        assert runs["async-grants"].traces == runs["global-min"].traces
+
+    def test_stateful_results_match_unsharded(self):
+        spec = build_flood_spec(3, 2)
+        workload = build_stateful_workload(3, 2)
+        until = workload["until"]
+        plan = RegionPlan(spec, flood_assignment(3, 2, 2))
+        reference = run_unsharded_stateful(spec, workload, seed=0,
+                                           until=until)
+        result = run_sharded(plan, workload, seed=0, mode="inline",
+                             protocol="async-grants", until=until)
+        assert result.rows == reference["rows"]
+        assert result.node_stats == reference["node_stats"]
+
+    def test_process_mode_matches_inline_results(self):
+        # counts (grants, dispatch waves) are wall-clock-dependent in
+        # process mode — completions arrive in OS order — so only the
+        # *results* are compared, never the counters
+        spec = build_flood_spec(2, 2)
+        plan = RegionPlan(spec, flood_assignment(2, 2, 2))
+        workload = all_nodes_announce(spec.nodes)
+        inline = run_sharded(plan, workload, seed=0, mode="inline",
+                             protocol="async-grants")
+        process = run_sharded(plan, workload, seed=0, mode="process",
+                              protocol="async-grants")
+        assert process.rows == inline.rows
+        assert process.traces == inline.traces
+        assert [s["trace_sha256"] for s in process.shards] == \
+            [s["trace_sha256"] for s in inline.shards]
+
+    def test_inline_counters_are_deterministic(self):
+        spec = build_flood_spec(3, 2)
+        plan = RegionPlan(spec, flood_assignment(3, 2, 3))
+        workload = all_nodes_announce(spec.nodes)
+        first = run_sharded(plan, workload, seed=0, mode="inline",
+                            protocol="async-grants")
+        second = run_sharded(plan, workload, seed=0, mode="inline",
+                             protocol="async-grants")
+        assert first.grants == second.grants
+        assert first.rounds == second.rounds
+        assert first.relay_batches == second.relay_batches
+        assert first.region_steps == second.region_steps
+        assert first.grants >= first.rounds > 0
+
+    def test_until_cap_parity_with_barrier_protocols(self):
+        spec = build_flood_spec(2, 2)
+        plan = RegionPlan(spec, flood_assignment(2, 2, 2))
+        workload = all_nodes_announce(spec.nodes)
+        capped = run_sharded(plan, workload, seed=0, mode="inline",
+                             protocol="async-grants", until=0.0001)
+        barrier = run_sharded(plan, workload, seed=0, mode="inline",
+                              until=0.0001)
+        assert all(s["clock"] == 0.0001 for s in capped.shards)
+        assert capped.rows == barrier.rows
+        assert capped.traces == barrier.traces
+
+    def test_grant_and_batch_counters_reported(self):
+        spec = build_flood_spec(2, 2)
+        plan = RegionPlan(spec, flood_assignment(2, 2, 2))
+        workload = all_nodes_announce(spec.nodes)
+        barrier = run_sharded(plan, workload, seed=0, mode="inline")
+        assert barrier.grants == barrier.rounds    # one fixpoint per round
+        assert barrier.relay_batches > 0
+        assert barrier.relay_bytes == 0            # inline: no channel
+        asynchronous = run_sharded(plan, workload, seed=0, mode="inline",
+                                   protocol="async-grants")
+        # the async scheduler re-solves the fixpoint per completion, so
+        # it computes at least as many grants as it runs dispatch waves
+        assert asynchronous.grants >= asynchronous.rounds

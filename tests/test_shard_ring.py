@@ -1,0 +1,399 @@
+"""The shared-memory SPSC ring: framing, wraparound, backpressure,
+fallback, corruption rejection, and segment lifecycle.
+
+The integrated coordinator protocol keeps at most one record per
+direction in flight (strict request-reply), so the blocking paths —
+ring-full backpressure, reader parking — are exercised here directly
+with threads, at the ring level, where they can actually occur.
+"""
+
+import multiprocessing
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import (RingError, SharedMemoryRingTransport, SpscRing,
+                         ring_supported)
+from repro.shard.coordinator import _recv_frames, _stage_frames
+from repro.shard.framing import pack_frames
+
+pytestmark = pytest.mark.skipif(
+    not ring_supported(), reason="multiprocessing.shared_memory missing")
+
+CTX = multiprocessing.get_context("spawn")
+
+
+def make_ring(capacity=128):
+    ring = SpscRing.create(CTX, capacity)
+    return ring
+
+
+def payload_for(index: int, size: int) -> bytes:
+    # content varies with both index and offset so any misframed or
+    # torn read produces a mismatch, not a coincidental pass
+    return bytes((index * 31 + j) % 251 for j in range(size))
+
+
+# ----------------------------------------------------------------------
+# Framing and wraparound
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_empty_and_max_payloads(self):
+        ring = make_ring(128)
+        try:
+            assert ring.max_payload == 128 - 16
+            for size in (0, 1, 7, 8, ring.max_payload):
+                payload = payload_for(size, size)
+                if not ring.try_write(payload):
+                    # the edge run was burned by a standalone wrap
+                    # marker; draining it (a None read) frees the space
+                    assert ring.try_read() is None
+                    assert ring.try_write(payload)
+                assert ring.try_read() == payload
+        finally:
+            ring.close()
+
+    def test_empty_ring_reads_none(self):
+        ring = make_ring(128)
+        try:
+            assert ring.try_read() is None
+            assert ring.try_write(b"x")
+            assert ring.try_read() == b"x"
+            assert ring.try_read() is None
+        finally:
+            ring.close()
+
+    @settings(max_examples=200, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=112),
+                          min_size=1, max_size=120))
+    def test_wraparound_at_every_offset(self, sizes):
+        # a small ring plus arbitrary size sequences walks the write
+        # offset over every 8-aligned position, including the wrap
+        # marker path where a record cannot fit before the data edge
+        ring = make_ring(128)
+        try:
+            for index, size in enumerate(sizes):
+                payload = payload_for(index, size)
+                if not ring.try_write(payload):
+                    # an empty ring can still refuse once: a standalone
+                    # wrap marker burned the edge and must drain first
+                    assert ring.try_read() is None
+                    assert ring.try_write(payload)
+                assert ring.try_read() == payload
+            assert ring.try_read() is None
+        finally:
+            ring.close()
+
+    @settings(max_examples=100, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=40),
+                          min_size=1, max_size=60),
+           data=st.data())
+    def test_fifo_with_queued_records(self, sizes, data):
+        # interleave bursts of writes with drains: records queue in
+        # FIFO order across wrap markers
+        ring = make_ring(256)
+        try:
+            queued = []
+            index = 0
+            for size in sizes:
+                payload = payload_for(index, size)
+                index += 1
+                if ring.try_write(payload):
+                    queued.append(payload)
+                else:
+                    # full: drain one and retry once
+                    assert queued, "full ring with nothing queued"
+                    assert ring.try_read() == queued.pop(0)
+                    if ring.try_write(payload):
+                        queued.append(payload)
+                if queued and data.draw(st.booleans()):
+                    assert ring.try_read() == queued.pop(0)
+            while queued:
+                assert ring.try_read() == queued.pop(0)
+            assert ring.try_read() is None
+        finally:
+            ring.close()
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_ring_refuses_without_blocking(self):
+        ring = make_ring(64)
+        try:
+            assert ring.try_write(b"a" * 40)   # 8 + 40 padded = 56 used
+            assert not ring.try_write(b"b" * 40)
+            assert ring.try_read() == b"a" * 40
+            assert ring.try_write(b"b" * 40)
+        finally:
+            ring.close()
+
+    def test_writer_waits_out_full_ring_without_deadlock(self):
+        # a writer thread pushes far more bytes than the ring holds
+        # while the main thread drains with a lag: every record arrives,
+        # in order, and both sides finish
+        ring = make_ring(64)
+        count = 200
+        errors = []
+
+        def produce():
+            try:
+                for index in range(count):
+                    ring.write(payload_for(index, 24), timeout=30.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writer = threading.Thread(target=produce, daemon=True)
+        try:
+            writer.start()
+            for index in range(count):
+                assert ring.read(timeout=30.0) == payload_for(index, 24)
+            writer.join(timeout=30.0)
+            assert not writer.is_alive()
+            assert not errors
+            assert ring.try_read() is None
+        finally:
+            ring.close()
+
+    def test_reader_waits_for_late_writer(self):
+        ring = make_ring(128)
+
+        def produce_late():
+            ring.write(b"late", timeout=30.0)
+
+        writer = threading.Timer(0.05, produce_late)
+        try:
+            writer.start()
+            assert ring.read(timeout=30.0) == b"late"
+        finally:
+            writer.join()
+            ring.close()
+
+    def test_write_timeout_raises_instead_of_hanging(self):
+        ring = make_ring(64)
+        try:
+            assert ring.try_write(b"a" * 40)
+            with pytest.raises(RingError, match="timed out"):
+                ring.write(b"b" * 40, timeout=0.2)
+        finally:
+            ring.close()
+
+
+# ----------------------------------------------------------------------
+# Oversize and torn-record handling
+# ----------------------------------------------------------------------
+class TestEdges:
+    def test_oversized_payload_never_enters_the_ring(self):
+        ring = make_ring(64)
+        try:
+            big = b"x" * (ring.max_payload + 1)
+            assert not ring.try_write(big)
+            with pytest.raises(RingError, match="exceeds ring max_payload"):
+                ring.write(big, timeout=0.2)
+        finally:
+            ring.close()
+
+    def test_torn_header_rejected_not_resynced(self):
+        ring = make_ring(128)
+        try:
+            assert ring.try_write(b"fine")
+            # flip a tag bit behind the writer's back: the checksum no
+            # longer matches, and the reader must refuse loudly
+            data_start = 192
+            buf = ring._shm.buf
+            buf[data_start + 4] ^= 0x01
+            with pytest.raises(RingError, match="torn or corrupt"):
+                ring.try_read()
+        finally:
+            ring.close()
+
+    def test_out_of_sequence_tag_rejected(self):
+        # a reader that missed a record (or a stray writer) shows up as
+        # a tag mismatch even when the checksum is self-consistent
+        ring = make_ring(128)
+        try:
+            assert ring.try_write(b"one")
+            assert ring.try_read() == b"one"
+            assert ring.try_write(b"two")
+            ring._read_tag = 0          # simulate a desynced reader
+            with pytest.raises(RingError, match="expected tag"):
+                ring.try_read()
+        finally:
+            ring.close()
+
+    def test_capacity_validation(self):
+        with pytest.raises(RingError, match="multiple of 8"):
+            SpscRing.create(CTX, 100)
+        with pytest.raises(RingError, match="multiple of 8"):
+            SpscRing.create(CTX, 8)
+
+    def test_attach_to_garbage_segment_rejected(self):
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(RingError, match="bad ring magic"):
+                SpscRing.attach((shm.name, CTX.Condition()))
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+# ----------------------------------------------------------------------
+# The transport: descriptor selection + pipe fallback
+# ----------------------------------------------------------------------
+FRAMES = [(0.0105, "ab", ("t", (1, "payload")), 64),
+          (0.0207, "ab", None, 32)]
+
+
+class TestTransportStaging:
+    def make_transport(self, capacity=1 << 16):
+        return SharedMemoryRingTransport(
+            tx=SpscRing.create(CTX, capacity),
+            rx=SpscRing.create(CTX, capacity))
+
+    def test_empty_batch_is_descriptor_only(self):
+        transport = self.make_transport()
+        try:
+            descriptor, tail, nbytes = _stage_frames(transport, [])
+            assert descriptor == ("empty",) and tail is None and nbytes == 0
+            assert _recv_frames(None, transport, descriptor) == ([], 0)
+        finally:
+            transport.close()
+
+    def test_small_batch_rides_the_ring(self):
+        transport = self.make_transport()
+        try:
+            packed = pack_frames(FRAMES)
+            descriptor, tail, nbytes = _stage_frames(transport, FRAMES)
+            assert descriptor == ("ring", len(packed))
+            assert tail is None and nbytes == len(packed)
+            # the receiving side of this direction is the same pair's
+            # tx ring; swap as attach_pair would
+            peer = SharedMemoryRingTransport(tx=transport.rx,
+                                             rx=transport.tx)
+            frames, got = _recv_frames(None, peer, descriptor)
+            assert frames == FRAMES and got == len(packed)
+        finally:
+            transport.close()
+
+    def test_oversized_batch_falls_back_to_pipe_bytes(self):
+        transport = self.make_transport(capacity=64)
+        conn_a, conn_b = CTX.Pipe()
+        try:
+            packed = pack_frames(FRAMES)
+            assert len(packed) > transport.tx.max_payload
+            descriptor, tail, nbytes = _stage_frames(transport, FRAMES)
+            assert descriptor == ("bytes", len(packed))
+            assert tail == packed and nbytes == len(packed)
+            conn_a.send_bytes(tail)
+            frames, got = _recv_frames(conn_b, transport, descriptor)
+            assert frames == FRAMES and got == len(packed)
+            # nothing entered the ring
+            assert transport.rx.try_read() is None
+            assert transport.tx.try_read() is None
+        finally:
+            conn_a.close()
+            conn_b.close()
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle: no leaks on close or worker failure
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def attach_should_fail(self, name):
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_unlinks_created_segments(self):
+        transport = SharedMemoryRingTransport.create_pair(CTX)
+        names = [transport.tx.name, transport.rx.name]
+        transport.close()
+        for name in names:
+            self.attach_should_fail(name)
+
+    def test_close_is_idempotent(self):
+        ring = make_ring()
+        ring.close()
+        ring.close()
+        with pytest.raises(RingError, match="closed ring"):
+            ring.try_write(b"x")
+        with pytest.raises(RingError, match="closed ring"):
+            ring.try_read()
+
+    def test_worker_failure_leaves_no_segments(self):
+        # a worker that dies during construction (bogus workload kind)
+        # must not leak its rings: the coordinator's close path unlinks
+        # them even though the step protocol never ran
+        from repro.experiments.e6_scalability import (build_flood_spec,
+                                                      flood_assignment)
+        from repro.shard import RegionPlan, ShardRunError
+        from repro.shard.coordinator import ShardCoordinator
+        spec = build_flood_spec(2, 2)
+        plan = RegionPlan(spec, flood_assignment(2, 2, 2))
+        coordinator = ShardCoordinator(plan, {"kind": "no-such-workload"},
+                                       mode="process", transport="ring",
+                                       start_method="spawn")
+        proxies = coordinator._make_proxies()
+        names = [ring.name for proxy in proxies
+                 for ring in (proxy._ring.tx, proxy._ring.rx)]
+        assert len(names) == 4
+        try:
+            with pytest.raises(ShardRunError):
+                for proxy in proxies:
+                    proxy.handshake()
+        finally:
+            for proxy in proxies:
+                proxy.close()
+        for name in names:
+            self.attach_should_fail(name)
+
+    def test_spawn_ring_run_leaves_no_segments(self):
+        # end-to-end: a full spawn run over the ring transport leaves
+        # /dev/shm (or the platform equivalent) exactly as it found it
+        import glob
+        from repro.experiments.e6_scalability import (build_flood_spec,
+                                                      flood_assignment)
+        from repro.shard import RegionPlan, all_nodes_announce, run_sharded
+        spec = build_flood_spec(2, 2)
+        plan = RegionPlan(spec, flood_assignment(2, 2, 2))
+        workload = all_nodes_announce(spec.nodes)
+        before = set(glob.glob("/dev/shm/psm_*"))
+        inline = run_sharded(plan, workload, seed=0, mode="inline")
+        result = run_sharded(plan, workload, seed=0, mode="process",
+                             transport="ring", start_method="spawn")
+        assert result.rows == inline.rows
+        assert result.traces == inline.traces
+        assert result.relay_bytes > 0
+        # every segment this run created is gone again (unrelated
+        # segments that pre-existed are tolerated, new ones are not)
+        leaked = set(glob.glob("/dev/shm/psm_*")) - before
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
+class TestRingSmokeUnderTinyCapacity:
+    def test_tiny_ring_forces_pipe_fallback_yet_matches(self, monkeypatch):
+        # shrink the rings until (almost) every batch overflows: the
+        # run must silently ride the pipe-bytes lane and stay exact
+        original = SharedMemoryRingTransport.create_pair.__func__
+
+        def tiny_pair(cls, context, capacity=None):
+            return original(cls, context, 64)
+
+        monkeypatch.setattr(SharedMemoryRingTransport, "create_pair",
+                            classmethod(tiny_pair))
+        from repro.experiments.e6_scalability import (build_flood_spec,
+                                                      flood_assignment)
+        from repro.shard import RegionPlan, all_nodes_announce, run_sharded
+        spec = build_flood_spec(2, 2)
+        plan = RegionPlan(spec, flood_assignment(2, 2, 2))
+        workload = all_nodes_announce(spec.nodes)
+        inline = run_sharded(plan, workload, seed=0, mode="inline")
+        result = run_sharded(plan, workload, seed=0, mode="process",
+                             transport="ring", start_method="spawn")
+        assert result.rows == inline.rows
+        assert result.traces == inline.traces

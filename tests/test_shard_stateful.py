@@ -28,17 +28,22 @@ from repro.shard import (RegionPlan, ShardEngine, all_nodes_announce,
 
 #: Golden fingerprints of the canned stateful case (E6 plant at 3x2,
 #: seed 0): the combined node-stats rendering of the unsharded build,
-#: and the per-shard traces of its 2-way split.  Captured at the wire
-#: codec's introduction (PR 5).  A mismatch means a change leaked into
-#: the control plane's observable behavior — enrollment timing, address
-#: assignment, LSA contents, or the codec itself.
+#: and the per-shard traces of its 2-way split.  Node-stats and rows
+#: captured at the wire codec's introduction (PR 5); the per-shard
+#: traces were recaptured when the async-grants protocol landed,
+#: because their final ``clock=`` line now renders the protocol-
+#: invariant ``Engine.last_event_time`` instead of the parked grant
+#: horizon (every event, counter, and stat line is unchanged).  A
+#: mismatch means a change leaked into the control plane's observable
+#: behavior — enrollment timing, address assignment, LSA contents, or
+#: the codec itself.
 GOLDEN_STATEFUL_NODE_STATS = \
     "dfe1ab44ecdba485ff4ec76dd3147fde154149da922bf90046816f7f924b32ef"
 GOLDEN_STATEFUL_ROWS = \
     "d33d38b2df3eed4be4cde09506512a8d4146fdee6dd5a27a6e2cb1e1ff931bb0"
 GOLDEN_STATEFUL_SHARDS = {
-    0: "f85df6704fee7ce338df7f832675428b885510832345812a82032045b1817ab2",
-    1: "bcf8af0d6bf254a7dec6904b2eed9092791887aa5b698fedb7ae4786b91bb33c",
+    0: "d6c3513b1fe73eb6d67d4937a2a1f47fe3c5a3bfa438ea978ffa69763fa34c2a",
+    1: "81ea00a5f9242f33cd5ed6c2d05db56aeb137f7275b27a69bcb7bec127a99cad",
 }
 
 

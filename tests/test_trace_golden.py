@@ -52,17 +52,19 @@ GOLDEN = {
 
 #: shard index -> sha256 of that shard's trace for the canned 2-region
 #: split (E6 plant at 2x3, all-nodes-announce flood, seed 0) — captured
-#: at the per-channel grant protocol's introduction.  (The PR-4 capture
-#: differed only in the final ``clock=`` line: global-min rounds parked
-#: every engine at the last ``floor + lookahead`` horizon, while
-#: per-channel grants park each engine at its own final grant — every
-#: event, counter, and delivery row is unchanged.)  A mismatch means a
-#: change leaked into the frame-exchange protocol's observable behavior:
-#: round structure, injection order, boundary arrival arithmetic, or the
-#: flood workload itself.
+#: when the async-grants protocol landed.  (The previous captures' final
+#: ``clock=`` line rendered the *parked* engine clock, which is an
+#: artifact of the round protocol's last grant horizon; the line now
+#: renders ``Engine.last_event_time`` — the causal end of the run — so
+#: one capture is bit-identical across per-channel, global-min, and
+#: async-grants.  Every event, counter, and delivery row is unchanged
+#: from the PR-6 capture.)  A mismatch means a change leaked into the
+#: frame-exchange protocol's observable behavior: round structure,
+#: injection order, boundary arrival arithmetic, or the flood workload
+#: itself.
 GOLDEN_SHARDS = {
-    0: "f30982bd1b0c37c5e0db79e44f92329758de1f74aa6257740c1bf62e31bc940c",
-    1: "c666a5273a6a5ce2ab5793b36fe66d294474557f1efa61bd71649dca817d6cef",
+    0: "1adc9abf4f35a353e32ff7a7499b8d466b33fc5fbf7dbad82311c5e1442a405f",
+    1: "cb953bd90a0c9cbcf399934375373c6cffd98c5d7114448124120bc1f7013f00",
 }
 
 
